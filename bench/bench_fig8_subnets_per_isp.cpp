@@ -1,0 +1,41 @@
+// Regenerates Figure 8: number of collected subnets per ISP at each of the
+// three vantage points.
+#include "bench_common.h"
+
+#include "util/histogram.h"
+
+int main() {
+  using namespace tn;
+  const bench::InternetRun run = bench::run_internet();
+
+  std::printf("== Figure 8: subnet / ISP distribution per PlanetLab site ==\n\n");
+  util::Table table({"ISP", "Rice", "UMass", "UOregon"});
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> values;
+  for (std::size_t i = 0; i < run.internet.isps.size(); ++i) {
+    const auto& isp = run.internet.isps[i];
+    std::vector<std::string> cells = {isp.name};
+    std::vector<double> row;
+    for (const auto& vantage : run.vantages) {
+      std::size_t count = 0;
+      for (const auto& subnet : vantage.subnets)
+        count += bench::isp_of(run.internet, subnet.prefix) ==
+                 static_cast<int>(i);
+      cells.push_back(std::to_string(count));
+      row.push_back(static_cast<double>(count));
+    }
+    table.add_row(std::move(cells));
+    labels.push_back(isp.name);
+    values.push_back(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", util::render_grouped(labels, {"Rice", "UMass", "UOregon"},
+                                           values)
+                          .c_str());
+
+  std::printf(
+      "paper (at ~6x our scale, Rice/ICMP): SprintLink 4482 > Level3 3587 >\n"
+      "AboveNET 2333 > NTT America 1593; counts close to each other across\n"
+      "vantage points. Expected shape: same ordering, similar columns.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Figure 9: the distribution of collected subnet prefix lengths
+// at each vantage point (log scale in the paper; rendered here as
+// log-scaled ASCII bars plus the raw series).
+#include "bench_common.h"
+
+#include <map>
+
+#include "util/histogram.h"
+
+int main() {
+  using namespace tn;
+  const bench::InternetRun run = bench::run_internet();
+
+  std::printf("== Figure 9: prefix length / PlanetLab site ==\n\n");
+
+  std::map<int, std::map<std::string, std::size_t>> counts;  // length -> site
+  for (const auto& vantage : run.vantages)
+    for (const auto& subnet : vantage.subnets)
+      if (bench::isp_of(run.internet, subnet.prefix) >= 0)
+        ++counts[subnet.prefix.length()][vantage.vantage];
+
+  util::Table table({"prefix", "Rice", "UMass", "UOregon"});
+  for (const auto& [length, by_site] : counts) {
+    auto cell = [&](const char* site) {
+      const auto it = by_site.find(site);
+      return std::to_string(it == by_site.end() ? 0 : it->second);
+    };
+    table.add_row({"/" + std::to_string(length), cell("Rice"), cell("UMass"),
+                   cell("UOregon")});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::vector<util::HistogramBar> bars;
+  for (const auto& [length, by_site] : counts) {
+    const auto it = by_site.find("Rice");
+    bars.push_back({"/" + std::to_string(length),
+                    static_cast<double>(it == by_site.end() ? 0 : it->second)});
+  }
+  std::printf("log-scale bars (Rice):\n%s\n",
+              util::render_bars(bars, 50, /*log_scale=*/true).c_str());
+
+  std::printf(
+      "paper shape to match: point-to-point /31 and /30 dominate; a big\n"
+      "drop to /29 (4499 -> 1546 at Rice) and a bigger one to /28 (-> 154);\n"
+      "a small bump at /24; a handful of /20-/22 giants (NTT America);\n"
+      "coherent series across the three sites.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates the §4.1.2 similarity analysis: the Equation (1)-(5) prefix
+// and size similarities of the collected Internet2 / GEANT topologies.
+#include "bench_common.h"
+
+#include "eval/similarity.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace tn;
+  const bench::ReferenceRun internet2 =
+      bench::run_reference(topo::internet2_like(bench::kInternet2Seed));
+  const bench::ReferenceRun geant =
+      bench::run_reference(topo::geant_like(bench::kGeantSeed));
+
+  util::Table table({"network", "metric", "measured", "paper", "note"});
+  auto fmt = [](double v) { return util::format_double(v, 3); };
+
+  table.add_row({"Internet2", "prefix similarity (Eq. 3)",
+                 fmt(eval::prefix_similarity(internet2.classification)),
+                 "0.83", "all subnets"});
+  table.add_row({"Internet2", "size similarity (Eq. 5)",
+                 fmt(eval::size_similarity(internet2.classification)), "0.86",
+                 "all subnets"});
+  table.add_row({"GEANT", "prefix similarity (Eq. 3)",
+                 fmt(eval::prefix_similarity(geant.classification, true)),
+                 "0.900", "excl. unresponsive (see below)"});
+  table.add_row({"GEANT", "size similarity (Eq. 5)",
+                 fmt(eval::size_similarity(geant.classification, true)),
+                 "0.907", "excl. unresponsive (see below)"});
+  table.add_rule();
+  table.add_row({"GEANT", "prefix similarity (Eq. 3)",
+                 fmt(eval::prefix_similarity(geant.classification, false)),
+                 "-", "all subnets (strict Eq. 3)"});
+  table.add_row({"GEANT", "size similarity (Eq. 5)",
+                 fmt(eval::size_similarity(geant.classification, false)), "-",
+                 "all subnets (strict Eq. 5)"});
+
+  std::printf("== Section 4.1.2: similarity rates ==\n%s",
+              table.render().c_str());
+
+  const auto [pu_i2, pl_i2] = eval::prefix_bounds(internet2.classification);
+  std::printf("\nInternet2 bounds pu=%d pl=%d  [paper: pu=31 pl=24]\n", pu_i2,
+              pl_i2);
+  std::printf(
+      "\nNote: the paper's GEANT values (0.900/0.907) are arithmetically\n"
+      "unreachable with its 97 missing subnets included (each miss adds a\n"
+      "distance factor >= 1 against a normalizer of 433, capping Eq. 3 at\n"
+      "~0.78); they reproduce once totally unresponsive subnets are excluded,\n"
+      "which is what this bench reports. The strict all-subnet values are\n"
+      "shown underneath.\n");
+  return 0;
+}

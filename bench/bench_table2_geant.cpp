@@ -1,0 +1,33 @@
+// Regenerates Table 2 of the paper: GEANT, original and collected subnet
+// distribution, plus the §4.1 exact-match rates.
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+int main() {
+  using namespace tn;
+  const bench::ReferenceRun run =
+      bench::run_reference(topo::geant_like(bench::kGeantSeed));
+  const eval::Classification& cls = run.classification;
+
+  bench::print_distribution_table(
+      "Table 2: GEANT, original and collected subnet distribution", cls, 24,
+      31);
+
+  std::printf(
+      "\nexact match rate (incl. unresponsive): %s   [paper: 53.5%%]\n",
+      util::format_double(100.0 * cls.exact_rate(), 1).c_str());
+  std::printf(
+      "exact match rate (excl. unresponsive): %s   [paper: 97.3%%]\n",
+      util::format_double(100.0 * cls.exact_rate_excluding_unresponsive(), 1)
+          .c_str());
+  std::printf("wire probes for the whole campaign: %llu (%zu targets)\n",
+              static_cast<unsigned long long>(run.observations.wire_probes),
+              run.observations.targets_total);
+
+  std::printf("\npaper Table 2 reference rows:\n");
+  std::printf("  orgl:  /28:24 /29:109 /30:138                     total 271\n");
+  std::printf("  exmt:  /29:41 /30:104                             total 145\n");
+  std::printf("  miss:1 miss\\unrs:97(/28:10 /29:53 /30:34) undes:3 undes\\unrs:25\n");
+  return 0;
+}

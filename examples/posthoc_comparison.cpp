@@ -1,0 +1,107 @@
+// tracenet vs the offline baseline (Gunes & Sarac, IMC 2007 — the paper's
+// reference [7]): run plain traceroute over the Internet2-like topology,
+// infer subnets from the harvested (address, distance) pairs afterwards, and
+// compare against tracenet's online exploration of the same network.
+#include <cstdio>
+#include <set>
+
+#include "core/posthoc.h"
+#include "core/session.h"
+#include "eval/campaign.h"
+#include "eval/classification.h"
+#include "probe/retry.h"
+#include "probe/sim_engine.h"
+#include "topo/reference.h"
+#include "util/table.h"
+
+using namespace tn;
+
+int main() {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+
+  // --- Baseline: traceroute, infer subnets post hoc. ------------------------
+  // Two input regimes:
+  //  (a) realistic — the same one-target-per-subnet list tracenet uses;
+  //  (b) oracle — one trace toward *every assigned address* of the ground
+  //      truth, an advantage no real study has (the address list is exactly
+  //      what topology collection is trying to discover).
+  auto run_baseline = [&](const std::vector<net::Ipv4Addr>& targets) {
+    sim::Network net_base(ref.topo);
+    probe::SimProbeEngine engine_base(net_base, ref.vantage);
+    core::Traceroute tracer(engine_base);
+    std::vector<core::AddressObservation> harvested;
+    std::set<net::Ipv4Addr> seen;
+    for (const net::Ipv4Addr target : targets) {
+      const core::TracePath path = tracer.run(target);
+      for (const core::TraceHop& hop : path.hops) {
+        if (hop.anonymous()) continue;
+        if (seen.insert(hop.reply.responder).second)
+          harvested.push_back({hop.reply.responder, hop.ttl});
+      }
+    }
+    return std::make_tuple(engine_base.probes_issued(), harvested,
+                           core::infer_subnets_posthoc(harvested));
+  };
+
+  const auto [realistic_probes, realistic_addrs, realistic_inferred] =
+      run_baseline(ref.targets);
+  std::vector<net::Ipv4Addr> oracle_targets;
+  for (const auto& truth : ref.registry.all())
+    oracle_targets.insert(oracle_targets.end(), truth.assigned.begin(),
+                          truth.assigned.end());
+  const auto [baseline_probes, harvested, inferred] =
+      run_baseline(oracle_targets);
+
+  // --- tracenet: online exploration. ---------------------------------------
+  sim::Network net_tn(ref.topo);
+  const eval::VantageObservations observations =
+      eval::run_campaign(net_tn, ref.vantage, "vantage", ref.targets, {});
+
+  // --- Compare against ground truth. ----------------------------------------
+  auto exact_count = [&](auto&& prefixes) {
+    std::size_t exact = 0;
+    for (const auto& truth : ref.registry.all())
+      exact += prefixes.contains(truth.prefix);
+    return exact;
+  };
+  std::set<net::Prefix> posthoc_prefixes;
+  for (const auto& subnet : inferred)
+    if (subnet.prefix.length() < 32) posthoc_prefixes.insert(subnet.prefix);
+  std::set<net::Prefix> tracenet_prefixes = observations.prefixes();
+
+  std::size_t posthoc_addrs = harvested.size();
+  std::size_t tracenet_addrs = observations.subnetized_addrs.size() +
+                               observations.unsubnetized.size();
+
+  std::set<net::Prefix> realistic_prefixes;
+  for (const auto& subnet : realistic_inferred)
+    if (subnet.prefix.length() < 32) realistic_prefixes.insert(subnet.prefix);
+
+  util::Table table({"metric", "post-hoc (realistic)", "post-hoc (oracle)",
+                     "tracenet"});
+  table.add_row({"probes on the wire", std::to_string(realistic_probes),
+                 std::to_string(baseline_probes),
+                 std::to_string(observations.wire_probes)});
+  table.add_row({"distinct addresses found",
+                 std::to_string(realistic_addrs.size()),
+                 std::to_string(posthoc_addrs),
+                 std::to_string(tracenet_addrs)});
+  table.add_row({"subnets produced", std::to_string(realistic_prefixes.size()),
+                 std::to_string(posthoc_prefixes.size()),
+                 std::to_string(tracenet_prefixes.size())});
+  table.add_row({"exact ground-truth matches",
+                 std::to_string(exact_count(realistic_prefixes)),
+                 std::to_string(exact_count(posthoc_prefixes)),
+                 std::to_string(exact_count(tracenet_prefixes))});
+  std::printf("== tracenet vs offline subnet inference (Internet2-like) ==\n\n%s",
+              table.render().c_str());
+
+  std::printf(
+      "\nwith realistic input (one trace per subnet) the offline method sees\n"
+      "one side of every link and infers essentially nothing. Given an\n"
+      "oracle list of every assigned address it becomes competitive — but\n"
+      "that list is exactly what topology collection is supposed to produce.\n"
+      "tracenet discovers the addresses and verifies the grouping online,\n"
+      "from the same one-target-per-subnet input as the realistic baseline.\n");
+  return 0;
+}

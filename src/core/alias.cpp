@@ -1,0 +1,112 @@
+#include "core/alias.h"
+
+#include <algorithm>
+
+namespace tn::core {
+
+net::Ipv4Addr AliasResolver::find(net::Ipv4Addr addr) const {
+  // Path-compressing find over the lazy parent map.
+  net::Ipv4Addr root = addr;
+  for (;;) {
+    const auto it = parent_.find(root);
+    if (it == parent_.end() || it->second == root) break;
+    root = it->second;
+  }
+  // Compress.
+  net::Ipv4Addr walk = addr;
+  while (walk != root) {
+    const auto it = parent_.find(walk);
+    const net::Ipv4Addr next = it->second;
+    it->second = root;
+    walk = next;
+  }
+  return root;
+}
+
+void AliasResolver::merge(net::Ipv4Addr a, net::Ipv4Addr b) {
+  const net::Ipv4Addr ra = find(a);
+  const net::Ipv4Addr rb = find(b);
+  if (ra == rb) return;
+  // Deterministic union: smaller address becomes the root.
+  const net::Ipv4Addr root = std::min(ra, rb);
+  const net::Ipv4Addr child = std::max(ra, rb);
+  parent_[child] = root;
+  parent_.try_emplace(root, root);
+}
+
+bool AliasResolver::would_conflict(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  // Simulate the merge and test every recorded subnet for two members
+  // landing in the same set.
+  const net::Ipv4Addr ra = find(a);
+  const net::Ipv4Addr rb = find(b);
+  if (ra == rb) return false;
+  auto effective_root = [&](net::Ipv4Addr addr) {
+    const net::Ipv4Addr r = find(addr);
+    return (r == ra || r == rb) ? std::min(ra, rb) : r;
+  };
+  for (const auto& members : subnet_members_) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (effective_root(members[i]) == effective_root(members[j]))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+void AliasResolver::add_subnet(const ObservedSubnet& subnet) {
+  if (subnet.members.size() >= 2) subnet_members_.push_back(subnet.members);
+
+  // Candidate ingress-router interfaces: trace entry, positioned ingress,
+  // and the contra-pivot.
+  std::vector<net::Ipv4Addr> ingress_interfaces;
+  if (subnet.contra_pivot) ingress_interfaces.push_back(*subnet.contra_pivot);
+  if (subnet.trace_entry) ingress_interfaces.push_back(*subnet.trace_entry);
+  if (subnet.ingress) ingress_interfaces.push_back(*subnet.ingress);
+
+  for (std::size_t i = 0; i < ingress_interfaces.size(); ++i) {
+    for (std::size_t j = i + 1; j < ingress_interfaces.size(); ++j) {
+      const net::Ipv4Addr a = ingress_interfaces[i];
+      const net::Ipv4Addr b = ingress_interfaces[j];
+      if (a == b) continue;
+      if (would_conflict(a, b)) {
+        ++conflicts_;
+        continue;
+      }
+      merge(a, b);
+    }
+  }
+}
+
+void AliasResolver::add_session(const SessionResult& result) {
+  for (const ObservedSubnet& subnet : result.subnets) add_subnet(subnet);
+}
+
+bool AliasResolver::same_router(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  return find(a) == find(b);
+}
+
+std::vector<std::vector<net::Ipv4Addr>> AliasResolver::alias_sets() const {
+  std::map<net::Ipv4Addr, std::vector<net::Ipv4Addr>> by_root;
+  for (const auto& [addr, _] : parent_) by_root[find(addr)].push_back(addr);
+  std::vector<std::vector<net::Ipv4Addr>> out;
+  for (auto& [root, members] : by_root) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>>
+AliasResolver::alias_pairs() const {
+  std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>> out;
+  for (const auto& set : alias_sets())
+    for (std::size_t i = 0; i < set.size(); ++i)
+      for (std::size_t j = i + 1; j < set.size(); ++j)
+        out.emplace_back(set[i], set[j]);
+  return out;
+}
+
+}  // namespace tn::core

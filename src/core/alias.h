@@ -1,0 +1,65 @@
+// Analytical alias resolution from tracenet output.
+//
+// The paper's introduction places tracenet inside the router-level mapping
+// pipeline: "router level maps group the interfaces hosted by the same
+// router into a single unit (via alias resolution)", and argues that subnet
+// information makes that step cheap. This module realizes the claim in the
+// style of the authors' follow-up analytical resolvers (APAR / the ITOM
+// toolchain): no extra probing — aliases fall out of the subnet structure
+// tracenet already collected.
+//
+// Rules applied per observed subnet S with pivot distance d:
+//   R1 (trace entry):   S.trace_entry (the hop d-1 responder, an interface
+//                       of the ingress router) and S.contra_pivot (the
+//                       ingress router's interface on S) alias each other.
+//   R2 (positioned in): S.ingress (the responder of <pivot, d-1>) likewise
+//                       sits on the ingress router -> aliases with both.
+//   no-alias:           two member interfaces of one subnet belong to
+//                       different routers (a router attaches to a LAN once),
+//                       so members must stay in distinct alias sets; a rule
+//                       that would merge them is rejected and counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tn::core {
+
+class AliasResolver {
+ public:
+  // Ingests every subnet of a session (or any observed subnet list).
+  void add_session(const SessionResult& result);
+  void add_subnet(const ObservedSubnet& subnet);
+
+  // True when the two addresses are inferred to sit on one router.
+  bool same_router(net::Ipv4Addr a, net::Ipv4Addr b) const;
+
+  // All alias sets with at least two members, each sorted, sets ordered by
+  // their smallest member.
+  std::vector<std::vector<net::Ipv4Addr>> alias_sets() const;
+
+  // Alias pairs (unordered) implied by the sets — the usual unit of
+  // precision/recall evaluation.
+  std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>> alias_pairs() const;
+
+  // Merges rejected because they would have aliased two interfaces of one
+  // subnet (usually a sign of path fluctuation during collection).
+  std::uint64_t conflicts() const noexcept { return conflicts_; }
+
+ private:
+  net::Ipv4Addr find(net::Ipv4Addr addr) const;
+  void merge(net::Ipv4Addr a, net::Ipv4Addr b);
+  bool would_conflict(net::Ipv4Addr a, net::Ipv4Addr b) const;
+
+  // Union-find parent links (absent key = singleton root).
+  mutable std::map<net::Ipv4Addr, net::Ipv4Addr> parent_;
+  // For each subnet seen: its member list (the no-alias constraint).
+  std::vector<std::vector<net::Ipv4Addr>> subnet_members_;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace tn::core

@@ -1,0 +1,226 @@
+#include "core/exploration.h"
+
+#include <bit>
+#include <set>
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace tn::core {
+
+namespace {
+
+// The minimal prefix covering every member (H1 shrinking and the
+// half-utilization rule leave S as a member set; the *observed* prefix is
+// whatever minimally spans it — this is what makes a /29 utilized only in a
+// /30 portion get reported as /30, §4's "observable subnet").
+net::Prefix minimal_covering(const std::set<net::Ipv4Addr>& members,
+                             net::Ipv4Addr pivot) {
+  if (members.size() <= 1) return net::Prefix::covering(pivot, 32);
+  const std::uint32_t lo = members.begin()->value();
+  const std::uint32_t hi = members.rbegin()->value();
+  const int common = std::countl_zero(lo ^ hi);  // 32 only when lo == hi
+  return net::Prefix::covering(pivot, common);
+}
+
+}  // namespace
+
+ObservedSubnet SubnetExplorer::explore(const Position& position) {
+  const std::uint64_t probes_before = engine_.probes_issued();
+
+  Context ctx;
+  ctx.pivot = position.pivot;
+  ctx.jh = position.pivot_distance;
+  ctx.ingress = position.ingress;
+  ctx.trace_entry = position.trace_entry;
+  ctx.on_trace_path = position.on_trace_path;
+
+  std::set<net::Ipv4Addr> members{ctx.pivot};
+  std::unordered_set<std::uint32_t> examined{ctx.pivot.value()};
+  StopReason stop = StopReason::kPrefixFloor;
+
+  // Algorithm 1's outer loop: temporary subnets /31, /30, ... around the
+  // pivot.
+  for (int m = 31; m >= config_.min_prefix_length; --m) {
+    const net::Prefix level = net::Prefix::covering(ctx.pivot, m);
+    bool shrunk = false;
+
+    for (std::uint64_t index = 0; index < level.size(); ++index) {
+      const net::Ipv4Addr candidate = level.at(index);
+      if (!examined.insert(candidate.value()).second) continue;
+
+      const Verdict verdict = test_candidate(candidate, ctx);
+      if (verdict == Verdict::kAdd) {
+        members.insert(candidate);
+      } else if (verdict == Verdict::kShrink) {
+        // H1 prefix reduction: back to the last known valid state, dropping
+        // every interface collected at the current level.
+        const net::Prefix keep = net::Prefix::covering(ctx.pivot, m + 1);
+        std::erase_if(members,
+                      [&](net::Ipv4Addr a) { return !keep.contains(a); });
+        if (ctx.contra_pivot && !keep.contains(*ctx.contra_pivot))
+          ctx.contra_pivot.reset();
+        stop = StopReason::kShrink;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) break;
+
+    // Algorithm 1 lines 19-21: stop when at most half the level's address
+    // space was collected.
+    if (m <= 29 && members.size() <= level.size() / 2) {
+      stop = StopReason::kUnderUtilized;
+      break;
+    }
+  }
+
+  // H9 boundary address reduction: a classic subnet never assigns its
+  // network/broadcast address; while one is a member, split and keep the
+  // pivot's half.
+  net::Prefix prefix = minimal_covering(members, ctx.pivot);
+  while (prefix.length() < 31 &&
+         (members.contains(prefix.network()) ||
+          members.contains(prefix.broadcast()))) {
+    const net::Prefix half = prefix.lower_half().contains(ctx.pivot)
+                                 ? prefix.lower_half()
+                                 : prefix.upper_half();
+    std::erase_if(members, [&](net::Ipv4Addr a) { return !half.contains(a); });
+    if (ctx.contra_pivot && !half.contains(*ctx.contra_pivot))
+      ctx.contra_pivot.reset();
+    prefix = minimal_covering(members, ctx.pivot);
+  }
+
+  ObservedSubnet out;
+  out.prefix = prefix;
+  out.members.assign(members.begin(), members.end());
+  out.pivot = ctx.pivot;
+  out.contra_pivot = ctx.contra_pivot;
+  out.ingress = position.ingress;
+  out.trace_entry = position.trace_entry;
+  out.pivot_distance = ctx.jh;
+  out.on_trace_path = ctx.on_trace_path;
+  out.stop = stop;
+  out.stopped_by = ctx.fired;
+  out.probes_used = engine_.probes_issued() - probes_before;
+
+  util::log(util::LogLevel::kDebug, "explore", "pivot ",
+            ctx.pivot.to_string(), " -> ", out.to_string(), " (",
+            to_string(stop), ")");
+  return out;
+}
+
+SubnetExplorer::Verdict SubnetExplorer::test_candidate(net::Ipv4Addr l,
+                                                       Context& ctx) {
+  // --- H2 upper-bound subnet contiguity -----------------------------------
+  // <l, jh>: alive reply required; TTL-exceeded means l is farther than the
+  // subnet (overgrown); silence means not in use here.
+  const net::ProbeReply r2 = probe_at(l, ctx.jh);
+  if (r2.is_ttl_exceeded()) {
+    ctx.fired = Heuristic::kH2UpperBoundSubnet;
+    return Verdict::kShrink;
+  }
+  if (!alive(r2)) return Verdict::kSkip;
+
+  // --- H5 mate-31 subnet contiguity ----------------------------------------
+  // The pivot's own mate is on the subnet by Mate-31 Adjacency (§3.2(iv)).
+  // The /30 mate inherits the shortcut only when the /31 mate is unused;
+  // whether it is in use is known from the /31 level, which was examined
+  // first.
+  if (l == ctx.pivot.mate31() ||
+      (l == ctx.pivot.mate30() && !ctx.mate31_of_pivot_alive)) {
+    if (l == ctx.pivot.mate31()) ctx.mate31_of_pivot_alive = true;
+    // The mate is often the subnet's contra-pivot (point-to-point links: the
+    // pivot's mate sits on the ingress router one hop closer). Designate it
+    // now so H3's single-contra-pivot rule and H8's exception stay sound for
+    // the rest of the exploration; H4's confidence check still applies.
+    if (!ctx.contra_pivot && alive(probe_at(l, ctx.jh - 1)) &&
+        !alive(probe_at(l, ctx.jh - 2))) {
+      ctx.contra_pivot = l;
+    }
+    return Verdict::kAdd;
+  }
+
+  // --- H3 / H6 shared probe <l, jh-1> --------------------------------------
+  const net::ProbeReply r36 = probe_at(l, ctx.jh - 1);
+  if (alive(r36)) {
+    // Alive one hop closer: contra-pivot candidate (H3).
+    if (ctx.contra_pivot) {
+      ctx.fired = Heuristic::kH3SingleContraPivot;  // second contra-pivot
+      return Verdict::kShrink;
+    }
+    // H4 lower-bound subnet contiguity: a true contra-pivot is exactly one
+    // hop closer, never two.
+    if (alive(probe_at(l, ctx.jh - 2))) {
+      ctx.fired = Heuristic::kH4LowerBoundSubnet;
+      return Verdict::kShrink;
+    }
+    ctx.contra_pivot = l;
+    return Verdict::kAdd;  // contra-pivot needs no router-contiguity checks
+  }
+  if (config_.h6_enabled && r36.is_ttl_exceeded()) {
+    // H6 fixed entry points: the probe must have entered through one of the
+    // (at most two) known ingress interfaces — i from positioning, u from
+    // trace collection (§3.7 applies the test against both). Anonymous
+    // entries cannot refute a candidate.
+    const net::Ipv4Addr k = r36.responder;
+    const bool matches_i = ctx.ingress && k == *ctx.ingress;
+    const bool matches_u =
+        ctx.on_trace_path && ctx.trace_entry && k == *ctx.trace_entry;
+    const bool entries_known =
+        ctx.ingress || (ctx.on_trace_path && ctx.trace_entry);
+    if (entries_known && !matches_i && !matches_u) {
+      ctx.fired = Heuristic::kH6FixedEntryPoints;
+      return Verdict::kShrink;
+    }
+  }
+
+  // --- H7 upper-bound router contiguity (far fringe) ------------------------
+  if (!far_fringe_check(l, ctx)) {
+    ctx.fired = Heuristic::kH7UpperBoundRouter;
+    return Verdict::kShrink;
+  }
+
+  // --- H8 lower-bound router contiguity (close fringe) ----------------------
+  if (!close_fringe_check(l, ctx)) {
+    ctx.fired = Heuristic::kH8LowerBoundRouter;
+    return Verdict::kShrink;
+  }
+
+  return Verdict::kAdd;
+}
+
+bool SubnetExplorer::far_fringe_check(net::Ipv4Addr l, const Context& ctx) {
+  // If l were a far-fringe interface (hosted one hop past the ingress router
+  // on a subnet the ingress has no direct access to), the probe to its mate
+  // would expire one hop early: <mate31(l), jh> -> TTL_EXCEEDED.
+  const net::ProbeReply r = probe_at(l.mate31(), ctx.jh);
+  if (r.is_ttl_exceeded()) return false;
+  if (config_.mate30_fallback &&
+      (r.is_none() || r.type == net::ResponseType::kHostUnreachable)) {
+    const net::ProbeReply r30 = probe_at(l.mate30(), ctx.jh);
+    if (r30.is_ttl_exceeded()) return false;
+  }
+  return true;
+}
+
+bool SubnetExplorer::close_fringe_check(net::Ipv4Addr l, const Context& ctx) {
+  if (!config_.h8_enabled) return true;
+  // If l were a close-fringe interface (on a LAN the ingress router *is*
+  // directly on), its mate would be an ingress-router interface, alive one
+  // hop closer: <mate31(l), jh-1> -> alive.  The contra-pivot itself is the
+  // legitimate exception.
+  const net::Ipv4Addr mate = l.mate31();
+  if (ctx.contra_pivot && mate == *ctx.contra_pivot) return true;
+  const net::ProbeReply r = probe_at(mate, ctx.jh - 1);
+  if (alive(r)) return false;
+  if (config_.mate30_fallback &&
+      (r.is_none() || r.type == net::ResponseType::kHostUnreachable)) {
+    const net::Ipv4Addr mate30 = l.mate30();
+    if (ctx.contra_pivot && mate30 == *ctx.contra_pivot) return true;
+    if (alive(probe_at(mate30, ctx.jh - 1))) return false;
+  }
+  return true;
+}
+
+}  // namespace tn::core

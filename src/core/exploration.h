@@ -1,0 +1,82 @@
+// Subnet exploration — Algorithm 1 and heuristics H1-H9 of the paper (§3.3,
+// §3.5).
+//
+// Starting from the pivot designated by subnet positioning, a temporary
+// subnet of /31 is formed and grown one prefix bit at a time.  Every
+// candidate address of the current level is direct-probed and pushed through
+// the heuristic chain; a violation stops growth and shrinks the subnet to its
+// last valid state (H1 prefix reduction).  Growth also stops when a level
+// ends with at most half of its address space collected (Algorithm 1 lines
+// 19-21) or at the configured prefix floor.
+//
+// As in the paper's implementation, heuristics sharing a probe are merged:
+// the <l, jh-1> probe serves both H3 (contra-pivot detection) and H6 (fixed
+// entry points), and repeated probes are absorbed by an optional caching
+// engine layered underneath.
+#pragma once
+
+#include "core/positioning.h"
+#include "core/types.h"
+#include "probe/engine.h"
+
+namespace tn::core {
+
+struct ExplorerConfig {
+  net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
+  std::uint16_t flow_id = 0;
+  // Growth floor: never grow beyond this prefix length. The paper's loop
+  // runs to /0 and relies on the utilization rule to stop; a floor bounds
+  // probe cost against pathological topologies. /16 is far below the /20
+  // largest subnets the paper observed (Figure 9).
+  int min_prefix_length = 16;
+  // §3.5 H7/H8: when the /31 mate is silent the heuristic retries with the
+  // /30 mate. Disabling is an ablation knob (bench_probe_overhead).
+  bool mate30_fallback = true;
+  // H6 on: fixed-entry-point enforcement. Ablation knob for §3.7 analysis.
+  bool h6_enabled = true;
+  // H8 on: close-fringe detection. Ablation knob.
+  bool h8_enabled = true;
+};
+
+class SubnetExplorer {
+ public:
+  SubnetExplorer(probe::ProbeEngine& engine, ExplorerConfig config = {}) noexcept
+      : engine_(engine), config_(config) {}
+
+  // Grows and returns the observed subnet around `position`'s pivot.
+  ObservedSubnet explore(const Position& position);
+
+ private:
+  enum class Verdict { kAdd, kSkip, kShrink };
+
+  struct Context {
+    net::Ipv4Addr pivot;
+    int jh = 0;
+    std::optional<net::Ipv4Addr> ingress;      // i
+    std::optional<net::Ipv4Addr> trace_entry;  // u
+    bool on_trace_path = true;
+    std::optional<net::Ipv4Addr> contra_pivot;
+    Heuristic fired = Heuristic::kNone;
+    // Whether the pivot's /31 mate answered alive — gates the H5 /30-mate
+    // shortcut ("only if mate31(j) is found not to be in use").
+    bool mate31_of_pivot_alive = false;
+  };
+
+  Verdict test_candidate(net::Ipv4Addr l, Context& ctx);
+  bool far_fringe_check(net::Ipv4Addr l, const Context& ctx);    // H7
+  bool close_fringe_check(net::Ipv4Addr l, const Context& ctx);  // H8
+
+  net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
+    if (ttl < 1) return net::ProbeReply::none();
+    return engine_.indirect(target, static_cast<std::uint8_t>(ttl),
+                            config_.protocol, config_.flow_id);
+  }
+  bool alive(const net::ProbeReply& reply) const noexcept {
+    return net::is_alive_reply(config_.protocol, reply.type);
+  }
+
+  probe::ProbeEngine& engine_;
+  ExplorerConfig config_;
+};
+
+}  // namespace tn::core

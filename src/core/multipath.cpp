@@ -1,0 +1,125 @@
+#include "core/multipath.h"
+
+#include <map>
+
+#include "probe/cache.h"
+#include "probe/retry.h"
+#include "util/log.h"
+
+namespace tn::core {
+
+std::size_t MultipathResult::diamond_count() const {
+  std::size_t count = 0;
+  for (const MultipathHop& hop : hops) count += hop.responders.size() > 1;
+  return count;
+}
+
+std::size_t MultipathResult::interface_count() const {
+  std::set<net::Ipv4Addr> distinct;
+  for (const MultipathHop& hop : hops)
+    distinct.insert(hop.responders.begin(), hop.responders.end());
+  return distinct.size();
+}
+
+MultipathResult MultipathDiscovery::run(net::Ipv4Addr destination) {
+  MultipathResult result;
+  result.destination = destination;
+
+  int anonymous_run = 0;
+  for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+    MultipathHop hop;
+    hop.ttl = ttl;
+    std::set<net::Ipv4Addr> seen;
+    bool all_flows_delivered = true;
+    for (int flow = 0; flow < config_.flows_per_hop; ++flow) {
+      const net::ProbeReply reply = engine_.indirect(
+          destination, static_cast<std::uint8_t>(ttl), config_.protocol,
+          static_cast<std::uint16_t>(flow + 1));
+      if (reply.is_none()) {
+        all_flows_delivered = false;
+        continue;
+      }
+      const bool delivered =
+          net::is_alive_reply(config_.protocol, reply.type) ||
+          reply.responder == destination;
+      if (delivered) hop.destination_among_them = true;
+      else all_flows_delivered = false;
+      if (seen.insert(reply.responder).second)
+        hop.responders.push_back(reply.responder);
+    }
+    result.hops.push_back(hop);
+
+    if (hop.destination_among_them && all_flows_delivered) {
+      result.destination_reached = true;
+      break;
+    }
+    if (hop.destination_among_them) {
+      // Unequal-length diamond: some flows still in transit. Keep walking
+      // one more hop for them, but the destination counts as reached.
+      result.destination_reached = true;
+    }
+    if (hop.responders.empty()) {
+      if (++anonymous_run >= config_.anonymous_gap_limit) break;
+    } else {
+      anonymous_run = 0;
+    }
+    if (result.destination_reached && hop.responders.size() <= 1) break;
+  }
+  return result;
+}
+
+MultipathTracenetSession::MultipathTracenetSession(
+    probe::ProbeEngine& wire_engine, MultipathConfig config)
+    : wire_engine_(wire_engine), config_(config) {}
+
+MultipathSessionResult MultipathTracenetSession::run(
+    net::Ipv4Addr destination) {
+  const std::uint64_t wire_before = wire_engine_.probes_issued();
+
+  probe::RetryingProbeEngine retry(wire_engine_, 2);
+  probe::CachingProbeEngine cached(retry);
+
+  MultipathSessionResult result;
+  MultipathDiscovery discovery(cached, config_);
+  result.paths = discovery.run(destination);
+
+  PositioningConfig pos_config;
+  pos_config.protocol = config_.protocol;
+  ExplorerConfig explore_config;
+  explore_config.protocol = config_.protocol;
+  SubnetPositioner positioner(cached, pos_config);
+  SubnetExplorer explorer(cached, explore_config);
+
+  std::map<net::Prefix, ObservedSubnet> by_prefix;
+  std::optional<net::Ipv4Addr> previous;  // single-responder previous hop
+  for (const MultipathHop& hop : result.paths.hops) {
+    for (const net::Ipv4Addr v : hop.responders) {
+      bool covered = false;
+      for (const auto& [prefix, subnet] : by_prefix)
+        covered |= prefix.length() < 32 && prefix.contains(v);
+      if (covered) continue;
+      const Position position = positioner.position(previous, v, hop.ttl);
+      ObservedSubnet subnet = explorer.explore(position);
+      const auto [it, inserted] = by_prefix.emplace(subnet.prefix, subnet);
+      if (!inserted && subnet.members.size() > it->second.members.size())
+        it->second = std::move(subnet);
+    }
+    // H6's u is only meaningful when the hop had a single responder.
+    previous = hop.responders.size() == 1
+                   ? std::optional<net::Ipv4Addr>(hop.responders.front())
+                   : std::nullopt;
+  }
+
+  result.subnets.reserve(by_prefix.size());
+  for (auto& [prefix, subnet] : by_prefix)
+    result.subnets.push_back(std::move(subnet));
+  result.wire_probes = wire_engine_.probes_issued() - wire_before;
+
+  util::log(util::LogLevel::kInfo, "multipath", "collected ",
+            result.subnets.size(), " subnets over ",
+            result.paths.diamond_count(), " diamonds toward ",
+            destination.to_string());
+  return result;
+}
+
+}  // namespace tn::core

@@ -1,0 +1,69 @@
+// Subnet positioning — Algorithm 2 of the paper (§3.4).
+//
+// Given the last two interfaces (u at hop d-1, v at hop d) obtained in trace
+// collection mode, positioning:
+//   1. measures the *direct* hop distance of v (it can differ from d when the
+//      router reported a shortest-path or default interface),
+//   2. decides whether the subnet about to be explored lies on the trace
+//      path (the indirect probe passed through it) or off it,
+//   3. designates the pivot interface: v itself when v is already among the
+//      subnet's farthest interfaces, otherwise v's mate-31 / mate-30 (which
+//      then sits one hop deeper), exploiting Mate-31 Adjacency (§3.2(iv)),
+//   4. designates the ingress interface by expiring a probe one hop short of
+//      the pivot.
+#pragma once
+
+#include <optional>
+
+#include "core/types.h"
+#include "probe/engine.h"
+
+namespace tn::core {
+
+struct PositioningConfig {
+  net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
+  std::uint16_t flow_id = 0;
+  // How far from the trace hop distance the direct-distance search may roam
+  // before giving up and trusting the trace distance.
+  int distance_search_radius = 5;
+};
+
+struct Position {
+  net::Ipv4Addr pivot;
+  int pivot_distance = 0;  // jh
+  std::optional<net::Ipv4Addr> ingress;       // i; nullopt when anonymous
+  std::optional<net::Ipv4Addr> trace_entry;   // u, forwarded for H6
+  bool on_trace_path = true;
+};
+
+class SubnetPositioner {
+ public:
+  SubnetPositioner(probe::ProbeEngine& engine,
+                   PositioningConfig config = {}) noexcept
+      : engine_(engine), config_(config) {}
+
+  // `u`: responder at hop d-1 (nullopt when anonymous or first hop).
+  // `v`: responder at hop d.  When v is silent to direct probes the trace
+  // distance d is used as its location — exploration can still grow a subnet
+  // around a direct-dark pivot from its responsive neighbors.
+  Position position(std::optional<net::Ipv4Addr> u, net::Ipv4Addr v, int d);
+
+  // Measures the direct hop distance of `addr`, seeded with the trace hop
+  // distance `hint`. Exposed for tests and the post-hoc baseline.
+  std::optional<int> direct_distance(net::Ipv4Addr addr, int hint);
+
+ private:
+  net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
+    if (ttl < 1) return net::ProbeReply::none();
+    return engine_.indirect(target, static_cast<std::uint8_t>(ttl),
+                            config_.protocol, config_.flow_id);
+  }
+  bool alive(const net::ProbeReply& reply) const noexcept {
+    return net::is_alive_reply(config_.protocol, reply.type);
+  }
+
+  probe::ProbeEngine& engine_;
+  PositioningConfig config_;
+};
+
+}  // namespace tn::core

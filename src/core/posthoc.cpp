@@ -1,0 +1,143 @@
+#include "core/posthoc.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tn::core {
+
+namespace {
+
+struct Group {
+  std::vector<net::Ipv4Addr> members;  // sorted
+  int min_distance = 0;
+  int max_distance = 0;
+};
+
+// Merge acceptance during bottom-up growth: unit subnet diameter plus the
+// utilization rule. Boundary-address hygiene (H9 analogue) is applied as a
+// final splitting pass, exactly as tracenet defers H9 to post-processing —
+// an address that is the broadcast of an intermediate /30 can still be a
+// perfectly ordinary member of the final /29.
+bool merge_acceptable(const Group& group, const net::Prefix& prefix) {
+  if (group.max_distance - group.min_distance > 1) return false;
+  if (prefix.length() <= 29 && group.members.size() <= prefix.size() / 2)
+    return false;
+  return true;
+}
+
+Group merged(const Group& a, const Group& b) {
+  Group out;
+  out.members.reserve(a.members.size() + b.members.size());
+  std::merge(a.members.begin(), a.members.end(), b.members.begin(),
+             b.members.end(), std::back_inserter(out.members));
+  out.min_distance = std::min(a.min_distance, b.min_distance);
+  out.max_distance = std::max(a.max_distance, b.max_distance);
+  return out;
+}
+
+net::Prefix minimal_covering(const std::vector<net::Ipv4Addr>& members) {
+  if (members.size() == 1) return net::Prefix::covering(members.front(), 32);
+  const std::uint32_t lo = members.front().value();
+  const std::uint32_t hi = members.back().value();
+  int common = 0;
+  while (common < 32 && ((lo ^ hi) & (0x80000000u >> common)) == 0) ++common;
+  return net::Prefix::covering(members.front(), common);
+}
+
+// Recursively splits a member set while its covering prefix claims one of the
+// members as a network/broadcast address.
+void emit_boundary_clean(std::vector<net::Ipv4Addr> members,
+                         std::vector<InferredSubnet>& out) {
+  if (members.empty()) return;
+  const net::Prefix prefix = minimal_covering(members);
+  const bool boundary_member =
+      prefix.length() < 31 &&
+      std::any_of(members.begin(), members.end(),
+                  [&](net::Ipv4Addr a) { return prefix.is_boundary(a); });
+  if (!boundary_member) {
+    out.push_back(InferredSubnet{prefix, std::move(members)});
+    return;
+  }
+  std::vector<net::Ipv4Addr> lower, upper;
+  for (const net::Ipv4Addr a : members)
+    (prefix.lower_half().contains(a) ? lower : upper).push_back(a);
+  emit_boundary_clean(std::move(lower), out);
+  emit_boundary_clean(std::move(upper), out);
+}
+
+}  // namespace
+
+std::vector<InferredSubnet> infer_subnets_posthoc(
+    std::span<const AddressObservation> observations, int min_prefix_length) {
+  // Deduplicate addresses, keeping the smallest observed distance (closest
+  // consistent vantage estimate).
+  std::map<net::Ipv4Addr, int> by_addr;
+  for (const AddressObservation& obs : observations) {
+    const auto [it, inserted] = by_addr.emplace(obs.addr, obs.distance);
+    if (!inserted && obs.distance < it->second) it->second = obs.distance;
+  }
+
+  // Seed one singleton group per address, keyed by its /32.
+  std::map<net::Prefix, Group> groups;
+  for (const auto& [addr, distance] : by_addr) {
+    Group group;
+    group.members = {addr};
+    group.min_distance = group.max_distance = distance;
+    groups.emplace(net::Prefix::covering(addr, 32), std::move(group));
+  }
+
+  // Bottom-up sibling merging: at each level, adjacent groups whose union
+  // still looks like one subnet collapse into their parent prefix.
+  for (int p = 32; p > min_prefix_length; --p) {
+    std::map<net::Prefix, Group> next;
+    std::map<net::Prefix, bool> consumed;
+    for (const auto& [prefix, group] : groups) {
+      if (consumed[prefix]) continue;
+      if (prefix.length() != p) {
+        next.emplace(prefix, group);
+        continue;
+      }
+      const net::Prefix parent = prefix.parent();
+      const net::Prefix sibling = parent.lower_half() == prefix
+                                      ? parent.upper_half()
+                                      : parent.lower_half();
+      const auto sib = groups.find(sibling);
+      if (sib != groups.end() && !consumed[sibling]) {
+        Group candidate = merged(group, sib->second);
+        if (merge_acceptable(candidate, parent)) {
+          next.emplace(parent, std::move(candidate));
+          consumed[prefix] = true;
+          consumed[sibling] = true;
+        } else {
+          // Incompatible siblings: both stay put (re-keying either would
+          // collide on the parent key) and can never merge.
+          next.emplace(prefix, group);
+          consumed[prefix] = true;
+        }
+        continue;
+      }
+      // A lone group is re-keyed upward so it can meet a cousin at a higher
+      // level; its member set (and thus the reported covering prefix) is
+      // unchanged.
+      if (merge_acceptable(group, parent)) {
+        next.emplace(parent, group);
+      } else {
+        next.emplace(prefix, group);
+      }
+      consumed[prefix] = true;
+    }
+    groups = std::move(next);
+  }
+
+  std::vector<InferredSubnet> out;
+  out.reserve(groups.size());
+  for (auto& [prefix, group] : groups)
+    emit_boundary_clean(std::move(group.members), out);
+  std::sort(out.begin(), out.end(),
+            [](const InferredSubnet& a, const InferredSubnet& b) {
+              return a.prefix < b.prefix;
+            });
+  return out;
+}
+
+}  // namespace tn::core

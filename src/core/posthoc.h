@@ -1,0 +1,47 @@
+// Post-hoc subnet inference baseline.
+//
+// The paper contrasts tracenet with its authors' earlier approach (Gunes &
+// Sarac, "Inferring subnets in router-level topology collection studies",
+// IMC 2007 — reference [7]): collect plain traceroute data first, then infer
+// subnet relations *offline* from the harvested (address, hop-distance)
+// pairs.  This module implements that baseline so the benches can quantify
+// what online exploration buys: the offline method only ever sees addresses
+// that happened to appear on some trace, and it verifies nothing actively —
+// two addresses that look subnet-compatible are merged even when the network
+// would have refuted it.
+//
+// Inference: addresses are grouped bottom-up from /31 toward shorter
+// prefixes; a merge into the parent prefix is kept while
+//   (a) hop distances within the group span at most one hop
+//       (unit subnet diameter, §3.2(iii)),
+//   (b) no member is the parent's network/broadcast address (H9 analogue),
+//   (c) for /29 and shorter, more than half the address space was observed
+//       (the same utilization rule tracenet applies).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace tn::core {
+
+struct AddressObservation {
+  net::Ipv4Addr addr;
+  int distance = 0;  // hop distance from the vantage point
+};
+
+struct InferredSubnet {
+  net::Prefix prefix;
+  std::vector<net::Ipv4Addr> members;
+};
+
+// Runs the offline inference. `min_prefix_length` bounds the merge (mirrors
+// ExplorerConfig::min_prefix_length). Observations with duplicate addresses
+// keep the smallest distance.
+std::vector<InferredSubnet> infer_subnets_posthoc(
+    std::span<const AddressObservation> observations,
+    int min_prefix_length = 16);
+
+}  // namespace tn::core

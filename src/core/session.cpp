@@ -1,0 +1,77 @@
+#include "core/session.h"
+
+#include "util/log.h"
+
+namespace tn::core {
+
+TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
+                                 SessionConfig config)
+    : wire_engine_(wire_engine), config_(config) {
+  config_.trace.protocol = config_.protocol;
+  config_.trace.flow_id = config_.flow_id;
+  config_.explore.protocol = config_.protocol;
+  config_.explore.flow_id = config_.flow_id;
+  config_.positioning.protocol = config_.protocol;
+  config_.positioning.flow_id = config_.flow_id;
+
+  retry_ = std::make_unique<probe::RetryingProbeEngine>(wire_engine_,
+                                                        config_.retry_attempts);
+  top_ = retry_.get();
+  if (config_.use_probe_cache) {
+    cache_ = std::make_unique<probe::CachingProbeEngine>(*retry_);
+    top_ = cache_.get();
+  }
+}
+
+SessionResult TracenetSession::run(net::Ipv4Addr destination) {
+  const std::uint64_t wire_before = wire_engine_.probes_issued();
+  // The probe cache must not leak replies across sessions: hop distances and
+  // responsiveness are only stable on the timescale of one trace.
+  if (cache_) cache_->clear();
+
+  SessionResult result;
+
+  Traceroute tracer(*top_, config_.trace);
+  result.path = tracer.run(destination);
+
+  SubnetPositioner positioner(*top_, config_.positioning);
+  SubnetExplorer explorer(*top_, config_.explore);
+
+  std::optional<net::Ipv4Addr> previous;  // u: responder at the previous hop
+  for (const TraceHop& hop : result.path.hops) {
+    if (hop.anonymous()) {
+      // No pivot to grow a subnet around; §3.4 requires an address.
+      previous.reset();
+      continue;
+    }
+    const net::Ipv4Addr v = hop.reply.responder;
+
+    if (config_.skip_covered_hops) {
+      bool covered = false;
+      for (const ObservedSubnet& subnet : result.subnets) {
+        if (subnet.contains(v) ||
+            (subnet.members.size() == 1 && subnet.members.front() == v)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) {
+        previous = v;
+        continue;
+      }
+    }
+
+    const Position position = positioner.position(previous, v, hop.ttl);
+    result.subnets.push_back(explorer.explore(position));
+    previous = v;
+  }
+
+  result.wire_probes = wire_engine_.probes_issued() - wire_before;
+  util::log(util::LogLevel::kInfo, "session", "collected ",
+            result.subnets.size(), " subnets toward ",
+            destination.to_string(), " with ", result.wire_probes,
+            " wire probes");
+  return result;
+}
+
+}  // namespace tn::core

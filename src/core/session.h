@@ -1,0 +1,60 @@
+// TracenetSession: one end-to-end run of tracenet toward one destination.
+//
+// Per §3.3 the session alternates two modes along the path:
+//   trace collection  — obtain the next hop's IP address (Traceroute step),
+//   subnet positioning + exploration — sketch the subnet accommodating it
+//                       before moving on.
+// The engine stack mirrors the paper's implementation notes: retries absorb
+// loss (§3.8), a per-session probe cache realizes the merged-heuristic probe
+// sharing (§3.5), and a constant flow id keeps per-flow load balancers from
+// scattering the path (§3.8 / Paris traceroute).
+#pragma once
+
+#include <memory>
+
+#include "core/exploration.h"
+#include "core/positioning.h"
+#include "core/traceroute.h"
+#include "core/types.h"
+#include "probe/cache.h"
+#include "probe/engine.h"
+#include "probe/retry.h"
+
+namespace tn::core {
+
+struct SessionConfig {
+  net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
+  std::uint16_t flow_id = 0;
+  TracerouteConfig trace;          // protocol/flow_id fields overridden
+  ExplorerConfig explore;          // protocol/flow_id fields overridden
+  PositioningConfig positioning;   // protocol/flow_id fields overridden
+  int retry_attempts = 2;          // total tries per probe (§3.8 re-probe)
+  bool use_probe_cache = true;     // merged-heuristic probe sharing (§3.5)
+  // Skip positioning+exploration for a hop whose address already lies inside
+  // a subnet collected earlier in this session.
+  bool skip_covered_hops = true;
+};
+
+class TracenetSession {
+ public:
+  // `wire_engine` is the raw transport (simulator or raw socket); the
+  // session owns the retry/cache stack built on top of it.
+  TracenetSession(probe::ProbeEngine& wire_engine, SessionConfig config = {});
+
+  // Runs trace collection + subnet exploration toward `destination`.
+  SessionResult run(net::Ipv4Addr destination);
+
+  // Wire probes issued through this session so far (all runs).
+  std::uint64_t wire_probes() const noexcept {
+    return wire_engine_.probes_issued();
+  }
+
+ private:
+  probe::ProbeEngine& wire_engine_;
+  SessionConfig config_;
+  std::unique_ptr<probe::RetryingProbeEngine> retry_;
+  std::unique_ptr<probe::CachingProbeEngine> cache_;
+  probe::ProbeEngine* top_ = nullptr;  // top of the decorator stack
+};
+
+}  // namespace tn::core

@@ -1,0 +1,53 @@
+#include "core/traceroute.h"
+
+#include "util/log.h"
+
+namespace tn::core {
+
+TracePath Traceroute::run(net::Ipv4Addr destination) {
+  TracePath path;
+  path.destination = destination;
+
+  int anonymous_run = 0;
+  for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+    const net::ProbeReply reply = engine_.indirect(
+        destination, static_cast<std::uint8_t>(ttl), config_.protocol,
+        config_.flow_id);
+    path.hops.push_back(TraceHop{ttl, reply});
+
+    // An alive-type reply to a TTL-scoped probe can only mean the probe was
+    // delivered — the destination answered, possibly from another of its
+    // interfaces (shortest-path / default direct policies). Any reply sourced
+    // from the destination address itself also terminates the walk.
+    if (net::is_alive_reply(config_.protocol, reply.type) ||
+        (!reply.is_none() && reply.responder == destination)) {
+      path.destination_reached = true;
+      break;
+    }
+
+    if (reply.is_none()) {
+      if (++anonymous_run >= config_.anonymous_gap_limit) {
+        util::log(util::LogLevel::kDebug, "traceroute",
+                  "abandoning trace to ", destination.to_string(), " after ",
+                  anonymous_run, " anonymous hops");
+        break;
+      }
+      continue;
+    }
+    anonymous_run = 0;
+
+    // Forwarding-loop guard: the same responder at three consecutive hops.
+    const std::size_t n = path.hops.size();
+    if (n >= 3 && !path.hops[n - 2].anonymous() &&
+        !path.hops[n - 3].anonymous() &&
+        path.hops[n - 2].reply.responder == reply.responder &&
+        path.hops[n - 3].reply.responder == reply.responder) {
+      util::log(util::LogLevel::kDebug, "traceroute", "loop detected at ",
+                reply.responder.to_string());
+      break;
+    }
+  }
+  return path;
+}
+
+}  // namespace tn::core

@@ -1,0 +1,39 @@
+// Traceroute: TTL-scoped path collection.
+//
+// Serves two roles: the *trace collection* mode of tracenet (§3.3, "similar
+// to traceroute, tracenet gradually extends a trace path by obtaining an IP
+// address via indirect probing at each hop"), and the standalone baseline the
+// paper compares against. Flow identifiers are held constant per session in
+// the spirit of Paris traceroute (§3.8 names that as the planned approach),
+// so per-flow load balancers do not scatter the path.
+#pragma once
+
+#include "core/types.h"
+#include "probe/engine.h"
+
+namespace tn::core {
+
+struct TracerouteConfig {
+  net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
+  std::uint16_t flow_id = 0;
+  int max_ttl = 32;
+  // Give up after this many consecutive anonymous hops (firewalled tail or
+  // unreachable destination).
+  int anonymous_gap_limit = 4;
+};
+
+class Traceroute {
+ public:
+  Traceroute(probe::ProbeEngine& engine, TracerouteConfig config = {}) noexcept
+      : engine_(engine), config_(config) {}
+
+  // Probes hop by hop toward `destination` until the destination answers,
+  // the anonymous-gap limit trips, a forwarding loop is detected, or max_ttl.
+  TracePath run(net::Ipv4Addr destination);
+
+ private:
+  probe::ProbeEngine& engine_;
+  TracerouteConfig config_;
+};
+
+}  // namespace tn::core

@@ -1,0 +1,76 @@
+#include "eval/campaign.h"
+
+#include <map>
+
+#include "probe/sim_engine.h"
+#include "util/log.h"
+
+namespace tn::eval {
+
+std::set<net::Prefix> VantageObservations::prefixes() const {
+  std::set<net::Prefix> out;
+  for (const core::ObservedSubnet& subnet : subnets) out.insert(subnet.prefix);
+  return out;
+}
+
+VantageObservations run_campaign(sim::Network& network, sim::NodeId vantage,
+                                 const std::string& vantage_name,
+                                 const std::vector<net::Ipv4Addr>& targets,
+                                 const CampaignConfig& config) {
+  VantageObservations out;
+  out.vantage = vantage_name;
+  out.targets_total = targets.size();
+
+  probe::SimProbeEngine wire(network, vantage);
+  core::TracenetSession session(wire, config.session);
+
+  // Deduplicate observations by prefix, keeping the richest member set (the
+  // paper reports each subnet once however many paths crossed it).
+  std::map<net::Prefix, core::ObservedSubnet> by_prefix;
+
+  auto covered = [&](net::Ipv4Addr addr) {
+    for (const auto& [prefix, subnet] : by_prefix)
+      if (prefix.contains(addr)) return true;
+    return false;
+  };
+
+  for (const net::Ipv4Addr target : targets) {
+    if (config.skip_covered_targets && covered(target)) {
+      ++out.targets_covered;
+      continue;
+    }
+    ++out.targets_traced;
+    const core::SessionResult result = session.run(target);
+    if (result.path.destination_reached) ++out.targets_responding;
+
+    for (const core::ObservedSubnet& subnet : result.subnets) {
+      if (subnet.prefix.length() == 32) {
+        out.unsubnetized.insert(subnet.pivot);
+        continue;
+      }
+      const auto [it, inserted] = by_prefix.emplace(subnet.prefix, subnet);
+      if (!inserted && subnet.members.size() > it->second.members.size())
+        it->second = subnet;
+    }
+  }
+
+  for (const auto& [prefix, subnet] : by_prefix) {
+    out.subnetized_addrs.insert(subnet.members.begin(), subnet.members.end());
+    out.subnets.push_back(subnet);
+  }
+  // An address inside some grown subnet is not "un-subnetized" even if one
+  // session failed to grow around it.
+  for (auto it = out.unsubnetized.begin(); it != out.unsubnetized.end();) {
+    it = out.subnetized_addrs.contains(*it) ? out.unsubnetized.erase(it)
+                                            : std::next(it);
+  }
+
+  out.wire_probes = wire.probes_issued();
+  util::log(util::LogLevel::kInfo, "campaign", vantage_name, ": ",
+            out.subnets.size(), " subnets, ", out.unsubnetized.size(),
+            " un-subnetized, ", out.wire_probes, " probes over ",
+            out.targets_traced, "/", out.targets_total, " targets");
+  return out;
+}
+
+}  // namespace tn::eval

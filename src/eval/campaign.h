@@ -1,0 +1,44 @@
+// Campaign driver: runs tracenet from one vantage point over a target list
+// and aggregates the observations the paper's figures are computed from.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "sim/network.h"
+
+namespace tn::eval {
+
+struct CampaignConfig {
+  core::SessionConfig session;
+  // Skip a target already covered by a previously observed subnet (the
+  // cost-effectiveness §3.6 argues for; also keeps /20-sized LANs from being
+  // re-explored per member target).
+  bool skip_covered_targets = true;
+};
+
+// Everything one vantage point learned.
+struct VantageObservations {
+  std::string vantage;
+  std::vector<core::ObservedSubnet> subnets;  // deduplicated by prefix
+  std::set<net::Ipv4Addr> unsubnetized;       // pivots stuck at /32 (Fig. 7)
+  std::set<net::Ipv4Addr> subnetized_addrs;   // union of subnet members
+  std::uint64_t wire_probes = 0;
+  std::size_t targets_total = 0;
+  std::size_t targets_traced = 0;      // sessions actually run
+  std::size_t targets_responding = 0;  // destination reached
+  std::size_t targets_covered = 0;     // skipped: already inside a subnet
+
+  // The set of observed prefixes (non-/32), for cross-validation.
+  std::set<net::Prefix> prefixes() const;
+};
+
+// Runs a full campaign: one tracenet session per (not-yet-covered) target.
+VantageObservations run_campaign(sim::Network& network, sim::NodeId vantage,
+                                 const std::string& vantage_name,
+                                 const std::vector<net::Ipv4Addr>& targets,
+                                 const CampaignConfig& config = {});
+
+}  // namespace tn::eval

@@ -1,0 +1,169 @@
+#include "eval/classification.h"
+
+#include <algorithm>
+
+namespace tn::eval {
+
+std::string to_string(MatchClass match) {
+  switch (match) {
+    case MatchClass::kExact: return "exact";
+    case MatchClass::kMissing: return "missing";
+    case MatchClass::kUnderestimated: return "underestimated";
+    case MatchClass::kOverestimated: return "overestimated";
+    case MatchClass::kSplit: return "split";
+    case MatchClass::kMerged: return "merged";
+  }
+  return "?";
+}
+
+int Classification::total(const Row& row) const {
+  int sum = 0;
+  for (const auto& [length, count] : row) sum += count;
+  return sum;
+}
+
+double Classification::exact_rate() const {
+  const int originals = total(original);
+  if (originals == 0) return 0.0;
+  return static_cast<double>(total(exact)) / originals;
+}
+
+double Classification::exact_rate_excluding_unresponsive() const {
+  // §4.1: "we exclude those unresponsive subnets, i.e., the ones that do not
+  // reply back to our probes" — both the totally unresponsive (missing) and
+  // the partially unresponsive (underestimated) ones; 132/139 = 94.9% for
+  // Internet2 and 145/149 = 97.3% for GEANT only work out this way.
+  const int originals = total(original) - total(miss_unresponsive) -
+                        total(undes_unresponsive);
+  if (originals <= 0) return 0.0;
+  return static_cast<double>(total(exact)) / originals;
+}
+
+namespace {
+
+// The audit: probe every assigned address of the subnet directly.
+// Returns {any_alive, all_alive}.
+std::pair<bool, bool> audit_responsiveness(const topo::GroundTruthSubnet& truth,
+                                           probe::ProbeEngine& engine) {
+  bool any = false;
+  bool all = true;
+  for (const net::Ipv4Addr addr : truth.assigned) {
+    const bool alive = net::is_alive_reply(
+        net::ProbeProtocol::kIcmp, engine.direct(addr).type);
+    any |= alive;
+    all &= alive;
+  }
+  return {any, all};
+}
+
+}  // namespace
+
+Classification classify(const topo::SubnetRegistry& registry,
+                        std::span<const core::ObservedSubnet> observed,
+                        probe::ProbeEngine& audit_engine) {
+  Classification result;
+
+  // Index usable observations (non-/32) once.
+  std::vector<const core::ObservedSubnet*> usable;
+  for (const core::ObservedSubnet& subnet : observed)
+    if (subnet.prefix.length() < 32) usable.push_back(&subnet);
+
+  // First pass: structural match per truth.
+  for (const topo::GroundTruthSubnet& truth : registry.all()) {
+    ++result.original[truth.prefix.length()];
+
+    SubnetVerdict verdict;
+    verdict.truth = &truth;
+
+    const core::ObservedSubnet* exact = nullptr;
+    const core::ObservedSubnet* covering = nullptr;  // strictly larger
+    std::vector<const core::ObservedSubnet*> inside;  // strictly smaller
+    for (const core::ObservedSubnet* obs : usable) {
+      if (obs->prefix == truth.prefix) {
+        exact = obs;
+      } else if (obs->prefix.contains(truth.prefix)) {
+        if (covering == nullptr ||
+            obs->prefix.length() > covering->prefix.length())
+          covering = obs;  // tightest covering observation
+      } else if (truth.prefix.contains(obs->prefix)) {
+        inside.push_back(obs);
+      }
+    }
+
+    if (exact != nullptr) {
+      verdict.match = MatchClass::kExact;
+      verdict.collected_prefix_lengths = {exact->prefix.length()};
+    } else if (covering != nullptr) {
+      // Distinguish overestimated from merged below (needs all verdicts).
+      verdict.match = MatchClass::kOverestimated;
+      verdict.collected_prefix_lengths = {covering->prefix.length()};
+    } else if (inside.size() >= 2) {
+      verdict.match = MatchClass::kSplit;
+      for (const core::ObservedSubnet* obs : inside)
+        verdict.collected_prefix_lengths.push_back(obs->prefix.length());
+    } else if (inside.size() == 1) {
+      verdict.match = MatchClass::kUnderestimated;
+      verdict.collected_prefix_lengths = {inside.front()->prefix.length()};
+    } else {
+      verdict.match = MatchClass::kMissing;
+    }
+    result.verdicts.push_back(std::move(verdict));
+  }
+
+  // Merged refinement (§4.1.1): when one covering observation spans several
+  // *non-exactly-matched* truths, those truths merged; a covering observation
+  // over truths of which the others matched exactly is an overestimation.
+  for (SubnetVerdict& verdict : result.verdicts) {
+    if (verdict.match != MatchClass::kOverestimated) continue;
+    int covered_not_exact = 0;
+    for (const SubnetVerdict& other : result.verdicts) {
+      if (other.truth == verdict.truth) continue;
+      if (verdict.collected_prefix_lengths.empty()) continue;
+      // Rebuild the covering prefix from the verdict data: same length,
+      // covering the truth's network address.
+      const net::Prefix covering = net::Prefix::covering(
+          verdict.truth->prefix.network(), verdict.collected_prefix_lengths[0]);
+      if (covering.contains(other.truth->prefix) &&
+          other.match != MatchClass::kExact)
+        ++covered_not_exact;
+    }
+    if (covered_not_exact > 0) verdict.match = MatchClass::kMerged;
+  }
+
+  // Audit + tabulation.
+  for (SubnetVerdict& verdict : result.verdicts) {
+    const int length = verdict.truth->prefix.length();
+    switch (verdict.match) {
+      case MatchClass::kExact:
+        ++result.exact[length];
+        break;
+      case MatchClass::kMissing: {
+        const auto [any_alive, all_alive] =
+            audit_responsiveness(*verdict.truth, audit_engine);
+        verdict.caused_by_unresponsiveness = !any_alive;
+        ++(any_alive ? result.miss_heuristic : result.miss_unresponsive)[length];
+        break;
+      }
+      case MatchClass::kUnderestimated: {
+        const auto [any_alive, all_alive] =
+            audit_responsiveness(*verdict.truth, audit_engine);
+        verdict.caused_by_unresponsiveness = !all_alive;
+        ++(all_alive ? result.undes_heuristic
+                     : result.undes_unresponsive)[length];
+        break;
+      }
+      case MatchClass::kOverestimated:
+        ++result.overestimated[length];
+        break;
+      case MatchClass::kSplit:
+        ++result.split[length];
+        break;
+      case MatchClass::kMerged:
+        ++result.merged[length];
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tn::eval

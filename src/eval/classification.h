@@ -1,0 +1,68 @@
+// Classification of observed subnets against ground truth — the machinery
+// behind Tables 1 and 2 of the paper.
+//
+// For every registered (published) subnet the classifier decides: exact
+// match, missing, underestimated, overestimated, split, or merged — the
+// paper's row classes — and, for missing/underestimated subnets, performs
+// the paper's audit ("we further probed every IP address within the address
+// range of the missing and underestimated subnets") to attribute the outcome
+// to unresponsiveness or to the heuristics.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "probe/engine.h"
+#include "topo/ground_truth.h"
+
+namespace tn::eval {
+
+enum class MatchClass : std::uint8_t {
+  kExact,
+  kMissing,
+  kUnderestimated,
+  kOverestimated,
+  kSplit,
+  kMerged,
+};
+
+std::string to_string(MatchClass match);
+
+struct SubnetVerdict {
+  const topo::GroundTruthSubnet* truth = nullptr;
+  MatchClass match = MatchClass::kMissing;
+  // Audit outcome, meaningful for kMissing / kUnderestimated: true when the
+  // subnet's own unresponsiveness (total or partial) explains the result.
+  bool caused_by_unresponsiveness = false;
+  // Collected prefix lengths relevant to the verdict: the matching/covering
+  // observation for exact/under/over/merged, every piece for split. Empty
+  // for missing.
+  std::vector<int> collected_prefix_lengths;
+};
+
+struct Classification {
+  std::vector<SubnetVerdict> verdicts;
+
+  // count[prefix_length] for one row of the paper's tables.
+  using Row = std::map<int, int>;
+  Row original, exact, miss_heuristic, miss_unresponsive, undes_heuristic,
+      undes_unresponsive, overestimated, split, merged;
+
+  int total(const Row& row) const;
+  // Exact-match rate including every subnet (the paper's 73.7% / 53.5%).
+  double exact_rate() const;
+  // Excluding totally unresponsive subnets (the paper's 94.9% / 97.3%).
+  double exact_rate_excluding_unresponsive() const;
+};
+
+// Classifies `observed` against `registry`. The audit engine is used to
+// direct-probe assigned addresses of missing/underestimated subnets; pass
+// the campaign's engine so rate limiting and firewalls behave as they did
+// during collection.
+Classification classify(const topo::SubnetRegistry& registry,
+                        std::span<const core::ObservedSubnet> observed,
+                        probe::ProbeEngine& audit_engine);
+
+}  // namespace tn::eval

@@ -1,0 +1,37 @@
+#include "eval/crossval.h"
+
+#include <algorithm>
+
+namespace tn::eval {
+
+CrossValidation cross_validate(const std::vector<VantageObservations>& vantages,
+                               std::optional<net::Prefix> filter) {
+  CrossValidation out;
+
+  // prefix -> set of vantage names that observed it.
+  std::map<net::Prefix, std::set<std::string>> observers;
+  for (const VantageObservations& vantage : vantages) {
+    for (const net::Prefix& prefix : vantage.prefixes()) {
+      if (filter && !filter->contains(prefix)) continue;
+      observers[prefix].insert(vantage.vantage);
+    }
+  }
+
+  for (const auto& [prefix, names] : observers) ++out.regions[names];
+
+  for (const VantageObservations& vantage : vantages) {
+    CrossValidation::PerVantage stats;
+    stats.vantage = vantage.vantage;
+    for (const net::Prefix& prefix : vantage.prefixes()) {
+      if (filter && !filter->contains(prefix)) continue;
+      const std::set<std::string>& names = observers[prefix];
+      ++stats.observed;
+      if (names.size() >= 2) ++stats.seen_by_another;
+      if (names.size() == vantages.size()) ++stats.seen_by_all;
+    }
+    out.per_vantage.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace tn::eval

@@ -1,0 +1,44 @@
+// Cross-validation of subnets observed from multiple vantage points —
+// Figure 6 of the paper (the three-site Venn diagram) and its headline
+// statistics ("around 60% of subnets observed by all three vantage points
+// and roughly 80% ... observed from at least one other vantage point").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/campaign.h"
+#include "net/prefix.h"
+
+namespace tn::eval {
+
+struct CrossValidation {
+  // Region sizes of the Venn diagram, keyed by the sorted set of vantage
+  // names that observed exactly those subnets (exact prefix match).
+  std::map<std::set<std::string>, std::size_t> regions;
+
+  // Per-vantage totals and agreement rates.
+  struct PerVantage {
+    std::string vantage;
+    std::size_t observed = 0;           // subnets this vantage saw
+    std::size_t seen_by_all = 0;        // ... also seen by every other
+    std::size_t seen_by_another = 0;    // ... also seen by at least one other
+    double all_rate() const {
+      return observed ? static_cast<double>(seen_by_all) / observed : 0.0;
+    }
+    double another_rate() const {
+      return observed ? static_cast<double>(seen_by_another) / observed : 0.0;
+    }
+  };
+  std::vector<PerVantage> per_vantage;
+};
+
+// Computes exact-prefix agreement between vantage observation sets.
+// `filter` restricts the analysis to prefixes inside it (e.g. one ISP's
+// block); pass std::nullopt for all.
+CrossValidation cross_validate(const std::vector<VantageObservations>& vantages,
+                               std::optional<net::Prefix> filter = std::nullopt);
+
+}  // namespace tn::eval

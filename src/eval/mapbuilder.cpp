@@ -1,0 +1,127 @@
+#include "eval/mapbuilder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tn::eval {
+
+std::size_t RouterLevelMap::interface_count() const {
+  std::size_t count = 0;
+  for (const auto& router : routers) count += router.size();
+  return count;
+}
+
+RouterLevelMap build_router_map(std::span<const core::SessionResult> sessions) {
+  RouterLevelMap map;
+
+  core::AliasResolver resolver;
+  std::map<net::Prefix, core::ObservedSubnet> by_prefix;
+  std::set<net::Ipv4Addr> addresses;
+
+  for (const core::SessionResult& session : sessions) {
+    resolver.add_session(session);
+    for (const core::ObservedSubnet& subnet : session.subnets) {
+      if (subnet.prefix.length() == 32) {
+        addresses.insert(subnet.pivot);
+        continue;
+      }
+      const auto [it, inserted] = by_prefix.emplace(subnet.prefix, subnet);
+      if (!inserted && subnet.members.size() > it->second.members.size())
+        it->second = subnet;
+    }
+    for (const net::Ipv4Addr addr : session.path.responders())
+      addresses.insert(addr);
+  }
+  map.alias_conflicts = resolver.conflicts();
+
+  for (auto& [prefix, subnet] : by_prefix) {
+    addresses.insert(subnet.members.begin(), subnet.members.end());
+    map.subnets.push_back(subnet);
+  }
+
+  // Routers: alias sets first, then remaining singleton addresses.
+  std::set<net::Ipv4Addr> in_set;
+  for (auto& set : resolver.alias_sets()) {
+    in_set.insert(set.begin(), set.end());
+    map.routers.push_back(std::move(set));
+  }
+  for (const net::Ipv4Addr addr : addresses)
+    if (!in_set.contains(addr)) map.routers.push_back({addr});
+  std::sort(map.routers.begin(), map.routers.end());
+
+  // Edges: router owns a member interface of the subnet.
+  for (std::size_t r = 0; r < map.routers.size(); ++r) {
+    for (std::size_t s = 0; s < map.subnets.size(); ++s) {
+      const auto& members = map.subnets[s].members;
+      const bool attached = std::any_of(
+          map.routers[r].begin(), map.routers[r].end(),
+          [&](net::Ipv4Addr addr) {
+            return std::binary_search(members.begin(), members.end(), addr);
+          });
+      if (attached) map.edges.emplace_back(r, s);
+    }
+  }
+  return map;
+}
+
+std::string RouterLevelMap::to_dot() const {
+  std::ostringstream os;
+  os << "graph tracenet_map {\n  overlap=false;\n";
+  for (std::size_t r = 0; r < routers.size(); ++r) {
+    os << "  r" << r << " [shape=box,label=\"";
+    for (std::size_t i = 0; i < routers[r].size(); ++i) {
+      if (i) os << "\\n";
+      os << routers[r][i].to_string();
+    }
+    os << "\"];\n";
+  }
+  for (std::size_t s = 0; s < subnets.size(); ++s)
+    os << "  s" << s << " [shape=ellipse,label=\""
+       << subnets[s].prefix.to_string() << "\"];\n";
+  for (const auto& [r, s] : edges) os << "  r" << r << " -- s" << s << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+MapAccuracy evaluate_map(const RouterLevelMap& map, const sim::Topology& truth) {
+  MapAccuracy accuracy;
+  accuracy.true_interfaces = truth.interface_count();
+
+  std::vector<net::Ipv4Addr> discovered;
+  for (const auto& router : map.routers)
+    for (const net::Ipv4Addr addr : router)
+      if (truth.find_interface(addr)) discovered.push_back(addr);
+  accuracy.discovered_interfaces = discovered.size();
+
+  auto node_of = [&](net::Ipv4Addr addr) -> std::optional<sim::NodeId> {
+    const auto iface = truth.find_interface(addr);
+    if (!iface) return std::nullopt;
+    return truth.interface(*iface).node;
+  };
+
+  // Inferred pairs.
+  for (const auto& router : map.routers) {
+    for (std::size_t i = 0; i < router.size(); ++i) {
+      for (std::size_t j = i + 1; j < router.size(); ++j) {
+        ++accuracy.alias_pairs_inferred;
+        const auto a = node_of(router[i]);
+        const auto b = node_of(router[j]);
+        if (a && b && *a == *b) ++accuracy.alias_pairs_correct;
+      }
+    }
+  }
+
+  // Possible pairs among discovered addresses.
+  std::map<sim::NodeId, std::size_t> per_node;
+  for (const net::Ipv4Addr addr : discovered) {
+    if (const auto node = node_of(addr)) ++per_node[*node];
+  }
+  for (const auto& [node, count] : per_node)
+    accuracy.alias_pairs_possible += count * (count - 1) / 2;
+
+  return accuracy;
+}
+
+}  // namespace tn::eval

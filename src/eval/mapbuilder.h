@@ -1,0 +1,67 @@
+// Router-level map construction — the downstream artifact the paper's
+// introduction motivates: combine tracenet sessions into a graph of routers
+// (alias sets) and subnets, ready for resilience/disjointness analyses like
+// Figure 2's, plus accuracy metrics against simulator ground truth and DOT
+// export for visualization.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alias.h"
+#include "core/types.h"
+#include "sim/topology.h"
+
+namespace tn::eval {
+
+struct RouterLevelMap {
+  // Inferred routers: disjoint interface-address sets (alias sets plus
+  // singletons), ordered by smallest member.
+  std::vector<std::vector<net::Ipv4Addr>> routers;
+  // Deduplicated observed subnets (richest observation per prefix).
+  std::vector<core::ObservedSubnet> subnets;
+  // router index <-> subnet index adjacency: the router owns a member
+  // interface of the subnet.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  std::uint64_t alias_conflicts = 0;
+
+  std::size_t interface_count() const;
+
+  // Graphviz rendering: routers as boxes, subnets as ellipses.
+  std::string to_dot() const;
+};
+
+// Builds the map from any number of tracenet sessions (typically one per
+// target, possibly from several vantage points).
+RouterLevelMap build_router_map(std::span<const core::SessionResult> sessions);
+
+// Accuracy of the inferred map against the simulator's ground truth.
+struct MapAccuracy {
+  std::size_t discovered_interfaces = 0;  // addresses present in the map
+  std::size_t true_interfaces = 0;        // all assigned in the topology
+  std::size_t alias_pairs_inferred = 0;
+  std::size_t alias_pairs_correct = 0;    // both addresses on one sim node
+  std::size_t alias_pairs_possible = 0;   // true pairs among discovered addrs
+
+  double interface_coverage() const {
+    return true_interfaces
+               ? static_cast<double>(discovered_interfaces) / true_interfaces
+               : 0.0;
+  }
+  double alias_precision() const {
+    return alias_pairs_inferred ? static_cast<double>(alias_pairs_correct) /
+                                      alias_pairs_inferred
+                                : 1.0;
+  }
+  double alias_recall() const {
+    return alias_pairs_possible ? static_cast<double>(alias_pairs_correct) /
+                                      alias_pairs_possible
+                                : 1.0;
+  }
+};
+
+MapAccuracy evaluate_map(const RouterLevelMap& map, const sim::Topology& truth);
+
+}  // namespace tn::eval

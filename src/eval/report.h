@@ -1,0 +1,24 @@
+// Machine-readable exports of campaign results: CSV for analysis pipelines
+// and the distribution-table renderer shared by the benches and the CLI.
+#pragma once
+
+#include <string>
+
+#include "eval/campaign.h"
+#include "eval/classification.h"
+
+namespace tn::eval {
+
+// CSV of observed subnets: one row per subnet —
+// prefix,members,pivot,contra_pivot,ingress,distance,on_path,stop
+std::string subnets_csv(const VantageObservations& observations);
+
+// CSV of the per-truth verdicts —
+// prefix,profile,match,cause,collected
+std::string classification_csv(const Classification& classification);
+
+// The paper-style original-vs-collected distribution table (Tables 1/2).
+std::string render_distribution(const Classification& classification,
+                                int min_prefix, int max_prefix);
+
+}  // namespace tn::eval

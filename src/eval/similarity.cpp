@@ -1,0 +1,146 @@
+#include "eval/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tn::eval {
+
+namespace {
+
+double size_of(int prefix_length) {
+  return std::pow(2.0, 32 - prefix_length);
+}
+
+int collected_single(const SubnetVerdict& verdict) {
+  return verdict.collected_prefix_lengths.empty()
+             ? verdict.truth->prefix.length()
+             : verdict.collected_prefix_lengths.front();
+}
+
+}  // namespace
+
+std::pair<int, int> prefix_bounds(const Classification& classification) {
+  int pu = 0, pl = 32;
+  for (const SubnetVerdict& verdict : classification.verdicts) {
+    const int original = verdict.truth->prefix.length();
+    pu = std::max(pu, original);
+    pl = std::min(pl, original);
+    for (const int collected : verdict.collected_prefix_lengths) {
+      pu = std::max(pu, collected);
+      pl = std::min(pl, collected);
+    }
+  }
+  return {pu, pl};
+}
+
+double prefix_distance_factor(const SubnetVerdict& verdict, int pu, int pl) {
+  const int so = verdict.truth->prefix.length();
+  switch (verdict.match) {
+    case MatchClass::kExact:
+      return 0.0;
+    case MatchClass::kUnderestimated:
+    case MatchClass::kOverestimated:
+    case MatchClass::kMerged:
+      return std::abs(so - collected_single(verdict));
+    case MatchClass::kMissing:
+      // "For missing subnets we take the maximum of distances to the
+      // boundaries in favor of dissimilarity."
+      return std::max(std::abs(so - pu), std::abs(so - pl));
+    case MatchClass::kSplit: {
+      int max_collected = so;
+      for (const int c : verdict.collected_prefix_lengths)
+        max_collected = std::max(max_collected, c);
+      return std::abs(so - max_collected);
+    }
+  }
+  return 0.0;
+}
+
+double size_distance_factor(const SubnetVerdict& verdict, int pu, int pl) {
+  const int so = verdict.truth->prefix.length();
+  switch (verdict.match) {
+    case MatchClass::kExact:
+      return 0.0;
+    case MatchClass::kUnderestimated:
+    case MatchClass::kOverestimated:
+    case MatchClass::kMerged:
+      return std::abs(size_of(so) - size_of(collected_single(verdict)));
+    case MatchClass::kMissing:
+      return std::max(size_of(pl) - size_of(so), size_of(so) - size_of(pu));
+    case MatchClass::kSplit: {
+      int max_collected = so;
+      for (const int c : verdict.collected_prefix_lengths)
+        max_collected = std::max(max_collected, c);
+      return std::abs(size_of(so) - size_of(max_collected));
+    }
+  }
+  return 0.0;
+}
+
+double minkowski_distance(const Classification& classification, int pu, int pl,
+                          double k, bool use_size) {
+  double sum = 0.0;
+  for (const SubnetVerdict& verdict : classification.verdicts) {
+    const double d = use_size ? size_distance_factor(verdict, pu, pl)
+                              : prefix_distance_factor(verdict, pu, pl);
+    sum += std::pow(d, k);
+  }
+  return std::pow(sum, 1.0 / k);
+}
+
+namespace {
+
+bool skip_verdict(const SubnetVerdict& verdict, bool exclude_unresponsive) {
+  return exclude_unresponsive && verdict.match == MatchClass::kMissing &&
+         verdict.caused_by_unresponsiveness;
+}
+
+std::pair<int, int> bounds_filtered(const Classification& classification,
+                                    bool exclude_unresponsive) {
+  int pu = 0, pl = 32;
+  for (const SubnetVerdict& verdict : classification.verdicts) {
+    if (skip_verdict(verdict, exclude_unresponsive)) continue;
+    const int original = verdict.truth->prefix.length();
+    pu = std::max(pu, original);
+    pl = std::min(pl, original);
+    for (const int collected : verdict.collected_prefix_lengths) {
+      pu = std::max(pu, collected);
+      pl = std::min(pl, collected);
+    }
+  }
+  return {pu, pl};
+}
+
+}  // namespace
+
+double prefix_similarity(const Classification& classification,
+                         bool exclude_unresponsive_misses) {
+  const auto [pu, pl] =
+      bounds_filtered(classification, exclude_unresponsive_misses);
+  double distance = 0.0, normalizer = 0.0;
+  for (const SubnetVerdict& verdict : classification.verdicts) {
+    if (skip_verdict(verdict, exclude_unresponsive_misses)) continue;
+    distance += prefix_distance_factor(verdict, pu, pl);
+    const int so = verdict.truth->prefix.length();
+    normalizer += std::max(so - pl, pu - so);
+  }
+  if (normalizer == 0.0) return 1.0;
+  return 1.0 - distance / normalizer;
+}
+
+double size_similarity(const Classification& classification,
+                       bool exclude_unresponsive_misses) {
+  const auto [pu, pl] =
+      bounds_filtered(classification, exclude_unresponsive_misses);
+  double distance = 0.0, normalizer = 0.0;
+  for (const SubnetVerdict& verdict : classification.verdicts) {
+    if (skip_verdict(verdict, exclude_unresponsive_misses)) continue;
+    distance += size_distance_factor(verdict, pu, pl);
+    const int so = verdict.truth->prefix.length();
+    normalizer += std::max(size_of(pl) - size_of(so), size_of(so) - size_of(pu));
+  }
+  if (normalizer == 0.0) return 1.0;
+  return 1.0 - distance / normalizer;
+}
+
+}  // namespace tn::eval

@@ -1,0 +1,46 @@
+// Topology similarity metrics — Equations (1) through (5) of §4.1.2.
+//
+// Each ground-truth subnet is a feature; its value is the prefix length
+// (Eqs. 1-3) or the subnet size 2^(32-p) (Eqs. 4-5). The distance factor per
+// subnet depends on its match class; the normalized Minkowski similarity of
+// order k=1 yields the paper's headline 0.83 / 0.900 (prefix) and
+// 0.86 / 0.907 (size) scores.
+#pragma once
+
+#include "eval/classification.h"
+
+namespace tn::eval {
+
+// Per-subnet prefix distance factor d(Si) — Equation (1).
+// `pu`/`pl` are the largest/smallest prefix lengths found in the original or
+// collected topology.
+double prefix_distance_factor(const SubnetVerdict& verdict, int pu, int pl);
+
+// Per-subnet size distance factor d^(Si) — Equation (4).
+double size_distance_factor(const SubnetVerdict& verdict, int pu, int pl);
+
+// Minkowski distance of order k over the distance factors — Equation (2).
+double minkowski_distance(const Classification& classification, int pu, int pl,
+                          double k, bool use_size);
+
+// Normalized similarity (k = 1) — Equation (3) for prefixes.
+//
+// `exclude_unresponsive_misses` drops totally unresponsive (missing) subnets
+// from the computation. The paper's Internet2 scores (0.83 / 0.86) are only
+// reproducible *with* them included, while its GEANT scores (0.900 / 0.907)
+// are only reproducible with them excluded — with 97 of 271 subnets missing
+// and every miss contributing a distance factor >= 1 against a normalizer of
+// 433, Eq. (3) cannot exceed 0.78 for GEANT. EXPERIMENTS.md records both
+// values for both networks.
+double prefix_similarity(const Classification& classification,
+                         bool exclude_unresponsive_misses = false);
+
+// Normalized similarity (k = 1) — Equation (5) for sizes.
+double size_similarity(const Classification& classification,
+                       bool exclude_unresponsive_misses = false);
+
+// The prefix-length bounds used in the equations (max/min over original and
+// collected prefixes present in the classification).
+std::pair<int, int> prefix_bounds(const Classification& classification);
+
+}  // namespace tn::eval

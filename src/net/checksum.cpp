@@ -1,0 +1,38 @@
+#include "net/checksum.h"
+
+namespace tn::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+void store_be16(std::uint8_t* out, std::uint16_t value) noexcept {
+  out[0] = static_cast<std::uint8_t>(value >> 8);
+  out[1] = static_cast<std::uint8_t>(value & 0xFF);
+}
+
+void store_be32(std::uint8_t* out, std::uint32_t value) noexcept {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
+  out[2] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+  out[3] = static_cast<std::uint8_t>(value & 0xFF);
+}
+
+std::uint16_t load_be16(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+}
+
+std::uint32_t load_be32(const std::uint8_t* in) noexcept {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace tn::net

@@ -1,0 +1,21 @@
+// RFC 1071 Internet checksum, used by the raw-socket probe engine when
+// building ICMP and IPv4 headers by hand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tn::net {
+
+// One's-complement sum of 16-bit words over `data`; odd trailing byte is
+// padded with zero, per RFC 1071. Returns the checksum in host byte order
+// ready to be stored into a big-endian field via store_be16.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+// Big-endian field helpers for hand-built headers.
+void store_be16(std::uint8_t* out, std::uint16_t value) noexcept;
+void store_be32(std::uint8_t* out, std::uint32_t value) noexcept;
+std::uint16_t load_be16(const std::uint8_t* in) noexcept;
+std::uint32_t load_be32(const std::uint8_t* in) noexcept;
+
+}  // namespace tn::net

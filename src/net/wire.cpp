@@ -1,0 +1,114 @@
+#include "net/wire.h"
+
+#include "net/checksum.h"
+
+namespace tn::net {
+
+std::vector<std::uint8_t> build_icmp_echo_request(std::uint16_t id,
+                                                  std::uint16_t seq,
+                                                  std::size_t payload_len) {
+  std::vector<std::uint8_t> out(kIcmpEchoHeaderLen + payload_len, 0);
+  out[0] = kIcmpEchoRequest;
+  out[1] = 0;  // code
+  store_be16(&out[4], id);
+  store_be16(&out[6], seq);
+  for (std::size_t i = 0; i < payload_len; ++i)
+    out[kIcmpEchoHeaderLen + i] = static_cast<std::uint8_t>(0x40 + (i & 0x3F));
+  store_be16(&out[2], internet_checksum(out));
+  return out;
+}
+
+std::vector<std::uint8_t> build_ipv4_header(Ipv4Addr source, Ipv4Addr destination,
+                                            std::uint8_t ttl, std::uint8_t protocol,
+                                            std::uint16_t total_length,
+                                            std::uint16_t identification) {
+  std::vector<std::uint8_t> out(kIpv4HeaderLen, 0);
+  out[0] = 0x45;  // version 4, IHL 5 words
+  store_be16(&out[2], total_length);
+  store_be16(&out[4], identification);
+  out[8] = ttl;
+  out[9] = protocol;
+  store_be32(&out[12], source.value());
+  store_be32(&out[16], destination.value());
+  store_be16(&out[10], internet_checksum(out));
+  return out;
+}
+
+std::optional<Ipv4Header> parse_ipv4_header(std::span<const std::uint8_t> data,
+                                            std::size_t& header_len_out) noexcept {
+  if (data.size() < kIpv4HeaderLen) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(data[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderLen || data.size() < ihl) return std::nullopt;
+  if (internet_checksum(data.first(ihl)) != 0) return std::nullopt;
+  Ipv4Header header;
+  header.total_length = load_be16(&data[2]);
+  header.identification = load_be16(&data[4]);
+  header.ttl = data[8];
+  header.protocol = data[9];
+  header.source = Ipv4Addr(load_be32(&data[12]));
+  header.destination = Ipv4Addr(load_be32(&data[16]));
+  header_len_out = ihl;
+  return header;
+}
+
+namespace {
+
+// Extracts probe id/seq/target from the quoted datagram inside a Time
+// Exceeded or Destination Unreachable body. Tolerates truncated quotes (some
+// routers quote fewer than the RFC-mandated 8 bytes).
+void extract_quote(std::span<const std::uint8_t> quote, DecodedReply& reply) noexcept {
+  std::size_t quoted_ihl = 0;
+  // The quoted header's checksum may be recomputed or zeroed by buggy
+  // middleboxes, so parse leniently: only shape checks here.
+  if (quote.size() < kIpv4HeaderLen) return;
+  if ((quote[0] >> 4) != 4) return;
+  const std::size_t ihl = static_cast<std::size_t>(quote[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderLen || quote.size() < ihl) return;
+  quoted_ihl = ihl;
+  reply.probe_target = Ipv4Addr(load_be32(&quote[16]));
+  const std::uint8_t quoted_protocol = quote[9];
+  if (quoted_protocol != 1 /*ICMP*/) return;
+  if (quote.size() < quoted_ihl + 8) return;
+  const auto icmp = quote.subspan(quoted_ihl);
+  if (icmp[0] != kIcmpEchoRequest) return;
+  reply.probe_id = load_be16(&icmp[4]);
+  reply.probe_seq = load_be16(&icmp[6]);
+}
+
+}  // namespace
+
+std::optional<DecodedReply> decode_icmp_datagram(
+    std::span<const std::uint8_t> datagram) noexcept {
+  std::size_t ihl = 0;
+  const auto ip = parse_ipv4_header(datagram, ihl);
+  if (!ip || ip->protocol != 1 /*ICMP*/) return std::nullopt;
+  const auto icmp = datagram.subspan(ihl);
+  if (icmp.size() < kIcmpEchoHeaderLen) return std::nullopt;
+  if (internet_checksum(icmp) != 0) return std::nullopt;
+
+  DecodedReply reply;
+  reply.responder = ip->source;
+  const std::uint8_t type = icmp[0];
+  const std::uint8_t code = icmp[1];
+  switch (type) {
+    case kIcmpEchoReply:
+      reply.type = ResponseType::kEchoReply;
+      reply.probe_id = load_be16(&icmp[4]);
+      reply.probe_seq = load_be16(&icmp[6]);
+      return reply;
+    case kIcmpTimeExceeded:
+      reply.type = ResponseType::kTtlExceeded;
+      extract_quote(icmp.subspan(kIcmpEchoHeaderLen), reply);
+      return reply;
+    case kIcmpDestUnreachable:
+      reply.type = code == kUnreachCodePort ? ResponseType::kPortUnreachable
+                                            : ResponseType::kHostUnreachable;
+      extract_quote(icmp.subspan(kIcmpEchoHeaderLen), reply);
+      return reply;
+    default:
+      return std::nullopt;  // router advertisements, redirects, ... — ignored
+  }
+}
+
+}  // namespace tn::net

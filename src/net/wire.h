@@ -1,0 +1,81 @@
+// On-wire ICMP/IPv4 encoding and decoding for the live raw-socket engine.
+//
+// Only what tracenet needs: building Echo Request probes (ICMP type 8) and
+// decoding the three reply families it acts on — Echo Reply (type 0), Time
+// Exceeded (type 11) and Destination Unreachable (type 3). Time Exceeded and
+// Unreachable quote the offending IPv4 header + 8 payload bytes (RFC 792),
+// from which we recover the id/seq of our original probe to match replies to
+// outstanding probes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace tn::net {
+
+// ICMP message type values (RFC 792).
+inline constexpr std::uint8_t kIcmpEchoReply = 0;
+inline constexpr std::uint8_t kIcmpDestUnreachable = 3;
+inline constexpr std::uint8_t kIcmpEchoRequest = 8;
+inline constexpr std::uint8_t kIcmpTimeExceeded = 11;
+
+inline constexpr std::uint8_t kUnreachCodeHost = 1;
+inline constexpr std::uint8_t kUnreachCodePort = 3;
+
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kIcmpEchoHeaderLen = 8;
+
+// A decoded IPv4 header (options-free headers only; probes never set any).
+struct Ipv4Header {
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;  // IPPROTO_ICMP = 1, UDP = 17, TCP = 6
+  Ipv4Addr source;
+  Ipv4Addr destination;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+};
+
+// Builds an ICMP Echo Request body (no IP header; the kernel prepends it when
+// sending on a raw ICMP socket without IP_HDRINCL). `id`/`seq` identify the
+// probe; `payload_len` bytes of deterministic filler follow the header.
+std::vector<std::uint8_t> build_icmp_echo_request(std::uint16_t id,
+                                                  std::uint16_t seq,
+                                                  std::size_t payload_len = 8);
+
+// Builds a full IPv4 header for IP_HDRINCL sends. `total_length` must include
+// the header itself. The header checksum is computed and stored.
+std::vector<std::uint8_t> build_ipv4_header(Ipv4Addr source, Ipv4Addr destination,
+                                            std::uint8_t ttl, std::uint8_t protocol,
+                                            std::uint16_t total_length,
+                                            std::uint16_t identification);
+
+// Decodes an IPv4 header; returns nullopt if truncated, not version 4, or the
+// header checksum fails. `header_len_out` receives the actual IHL in bytes so
+// callers can skip options present in received datagrams.
+std::optional<Ipv4Header> parse_ipv4_header(std::span<const std::uint8_t> data,
+                                            std::size_t& header_len_out) noexcept;
+
+// A reply decoded from a raw socket datagram (IP header included, as Linux
+// delivers on SOCK_RAW/IPPROTO_ICMP).
+struct DecodedReply {
+  ResponseType type = ResponseType::kNone;
+  Ipv4Addr responder;        // source of the ICMP message
+  // id/seq of the original Echo Request this reply answers. For Echo Reply
+  // they come from the reply itself; for Time Exceeded / Unreachable they are
+  // extracted from the quoted probe. Zero when the quote is not ours/ICMP.
+  std::uint16_t probe_id = 0;
+  std::uint16_t probe_seq = 0;
+  Ipv4Addr probe_target;     // destination of the quoted probe (unset for echo reply)
+};
+
+// Decodes a received ICMP datagram. Returns nullopt for malformed input,
+// non-ICMP protocols, checksum failures, or message types tracenet ignores.
+std::optional<DecodedReply> decode_icmp_datagram(
+    std::span<const std::uint8_t> datagram) noexcept;
+
+}  // namespace tn::net

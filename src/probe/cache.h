@@ -1,0 +1,65 @@
+// CachingProbeEngine: memoizes replies per (target, ttl, protocol).
+//
+// §3.5 notes the real tracenet "is optimized to collect the subnets with the
+// least number of probes and some of the rules are merged together": several
+// heuristics re-issue identical probes (H2's <l, jh> is H7's <mate31(l'), jh>
+// for l = mate31(l'), the H3/H6 probe <l, jh-1> is shared, ...).  Responses
+// on the timescale of one subnet exploration are stable, so a small cache
+// recovers the paper's probe-count optimization without entangling the
+// heuristic implementations.
+#pragma once
+
+#include <unordered_map>
+
+#include "probe/engine.h"
+
+namespace tn::probe {
+
+class CachingProbeEngine final : public ProbeEngine {
+ public:
+  explicit CachingProbeEngine(ProbeEngine& inner) noexcept : inner_(inner) {}
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  // Forget everything; called between hops/subnets if staleness is a concern.
+  void clear() { cache_.clear(); }
+
+ private:
+  struct Key {
+    std::uint32_t target;
+    std::uint16_t flow_id;  // ECMP can answer differently per flow
+    std::uint8_t ttl;
+    std::uint8_t protocol;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.target) << 32) |
+          (static_cast<std::uint64_t>(k.flow_id) << 16) |
+          (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol);
+    }
+  };
+
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    const Key key{request.target.value(), request.flow_id, request.ttl,
+                  static_cast<std::uint8_t>(request.protocol)};
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const net::ProbeReply reply = inner_.probe(request);
+    cache_.emplace(key, reply);
+    return reply;
+  }
+
+  ProbeEngine& inner_;
+  std::unordered_map<Key, net::ProbeReply, KeyHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tn::probe

@@ -1,0 +1,67 @@
+// ProbeEngine: the single seam between the tracenet algorithm and a network.
+//
+// Everything above this interface (trace collection, subnet positioning,
+// subnet exploration, the heuristics) is network-agnostic: it issues probes
+// and inspects replies.  Implementations:
+//   * SimProbeEngine     — probes the in-process simulator (experiments, tests)
+//   * RawSocketProbeEngine — probes the live Internet over raw ICMP sockets
+//   * CachingProbeEngine / RetryingProbeEngine — stacking decorators
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace tn::probe {
+
+class ProbeEngine {
+ public:
+  virtual ~ProbeEngine() = default;
+
+  ProbeEngine() = default;
+  ProbeEngine(const ProbeEngine&) = delete;
+  ProbeEngine& operator=(const ProbeEngine&) = delete;
+
+  // Issues one probe and blocks until a reply or a definitive silence.
+  net::ProbeReply probe(const net::Probe& request) {
+    ++issued_;
+    return do_probe(request);
+  }
+
+  // §3.1(i) direct probing: large TTL, tests liveness of `target`.
+  net::ProbeReply direct(net::Ipv4Addr target,
+                         net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp,
+                         std::uint16_t flow_id = 0) {
+    net::Probe p;
+    p.target = target;
+    p.ttl = net::kDirectProbeTtl;
+    p.protocol = protocol;
+    p.flow_id = flow_id;
+    return probe(p);
+  }
+
+  // §3.1(ii) indirect probing: small TTL, reveals the router at that hop.
+  net::ProbeReply indirect(net::Ipv4Addr target, std::uint8_t ttl,
+                           net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp,
+                           std::uint16_t flow_id = 0) {
+    net::Probe p;
+    p.target = target;
+    p.ttl = ttl;
+    p.protocol = protocol;
+    p.flow_id = flow_id;
+    return probe(p);
+  }
+
+  // Probes issued through *this* engine (a caching decorator counts logical
+  // requests here while its inner engine counts wire probes).
+  std::uint64_t probes_issued() const noexcept { return issued_; }
+  void reset_probes_issued() noexcept { issued_ = 0; }
+
+ private:
+  virtual net::ProbeReply do_probe(const net::Probe& request) = 0;
+
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace tn::probe

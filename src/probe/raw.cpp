@@ -1,0 +1,93 @@
+#include "probe/raw.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace tn::probe {
+
+RawSocketProbeEngine::RawSocketProbeEngine(RawSocketConfig config)
+    : timeout_(config.reply_timeout) {
+  fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "raw ICMP socket (CAP_NET_RAW required)");
+  icmp_id_ = config.icmp_id != 0
+                 ? config.icmp_id
+                 : static_cast<std::uint16_t>(::getpid() & 0xFFFF);
+}
+
+RawSocketProbeEngine::~RawSocketProbeEngine() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool RawSocketProbeEngine::available() noexcept {
+  const int fd = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+net::ProbeReply RawSocketProbeEngine::do_probe(const net::Probe& request) {
+  if (request.protocol != net::ProbeProtocol::kIcmp) {
+    util::log(util::LogLevel::kWarn, "raw",
+              "only ICMP probing is implemented on the live engine");
+    return net::ProbeReply::none();
+  }
+
+  const std::uint16_t seq = next_seq_++;
+  const auto payload = net::build_icmp_echo_request(icmp_id_, seq);
+
+  const int ttl = request.ttl;
+  if (::setsockopt(fd_, IPPROTO_IP, IP_TTL, &ttl, sizeof ttl) != 0)
+    return net::ProbeReply::none();
+
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(request.target.value());
+  if (::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dst), sizeof dst) < 0) {
+    util::log(util::LogLevel::kWarn, "raw", "sendto failed: ",
+              std::strerror(errno));
+    return net::ProbeReply::none();
+  }
+
+  // Wait for the matching reply, discarding unrelated ICMP traffic (raw
+  // sockets deliver every ICMP datagram the host receives).
+  const auto deadline =
+      std::chrono::steady_clock::now() + timeout_;
+  std::uint8_t buffer[2048];
+  for (;;) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    const auto remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+    if (remaining_ms <= 0) return net::ProbeReply::none();
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return net::ProbeReply::none();
+    }
+    if (ready == 0) return net::ProbeReply::none();
+
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n <= 0) continue;
+    const auto decoded = net::decode_icmp_datagram(
+        std::span<const std::uint8_t>(buffer, static_cast<std::size_t>(n)));
+    if (!decoded) continue;
+    if (decoded->probe_id != icmp_id_ || decoded->probe_seq != seq)
+      continue;  // someone else's traffic or an earlier timed-out probe
+    return net::ProbeReply{decoded->type, decoded->responder};
+  }
+}
+
+}  // namespace tn::probe

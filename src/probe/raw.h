@@ -1,0 +1,48 @@
+// RawSocketProbeEngine: live probing over a POSIX raw ICMP socket.
+//
+// This is the engine a deployment of tracenet on a PlanetLab-style vantage
+// point would use.  It implements the same ProbeEngine contract as the
+// simulator engine: one blocking call per probe, silence resolved by timeout.
+// ICMP only — the paper's own implementation "is completely based on ICMP
+// probes which are shown to be the least affected by load balancing" (§3.7);
+// UDP/TCP probes return silence and log a warning.
+//
+// Requires CAP_NET_RAW (or root).  Construction throws std::system_error
+// when the socket cannot be opened, so callers can fall back to simulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "probe/engine.h"
+
+namespace tn::probe {
+
+struct RawSocketConfig {
+  std::chrono::milliseconds reply_timeout{1000};
+  // ICMP Echo identifier for this session; replies with other ids belong to
+  // concurrent tools (or other tracenet sessions) and are ignored.
+  std::uint16_t icmp_id = 0;  // 0 = derive from pid
+};
+
+class RawSocketProbeEngine final : public ProbeEngine {
+ public:
+  explicit RawSocketProbeEngine(RawSocketConfig config = {});
+  ~RawSocketProbeEngine() override;
+
+  RawSocketProbeEngine(RawSocketProbeEngine&&) = delete;
+
+  // True when the current process can open raw ICMP sockets (used by the
+  // live example to decide between live and simulated operation).
+  static bool available() noexcept;
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override;
+
+  int fd_ = -1;
+  std::uint16_t icmp_id_ = 0;
+  std::uint16_t next_seq_ = 1;
+  std::chrono::milliseconds timeout_;
+};
+
+}  // namespace tn::probe

@@ -1,0 +1,35 @@
+// RetryingProbeEngine: re-probes on silence.
+//
+// §3.8: "In our implementation we re-probe an IP address if we do not get a
+// response for the first probe."  Silence on the real Internet is often loss
+// rather than unresponsiveness; in the simulator it can be rate limiting.
+#pragma once
+
+#include "probe/engine.h"
+
+namespace tn::probe {
+
+class RetryingProbeEngine final : public ProbeEngine {
+ public:
+  // `attempts` = total tries (first probe + retries); must be >= 1.
+  RetryingProbeEngine(ProbeEngine& inner, int attempts = 2) noexcept
+      : inner_(inner), attempts_(attempts < 1 ? 1 : attempts) {}
+
+  std::uint64_t retries_used() const noexcept { return retries_; }
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    net::ProbeReply reply = inner_.probe(request);
+    for (int attempt = 1; attempt < attempts_ && reply.is_none(); ++attempt) {
+      ++retries_;
+      reply = inner_.probe(request);
+    }
+    return reply;
+  }
+
+  ProbeEngine& inner_;
+  int attempts_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace tn::probe

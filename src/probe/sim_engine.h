@@ -1,0 +1,27 @@
+// Probe engine backed by the in-process network simulator.
+#pragma once
+
+#include "probe/engine.h"
+#include "sim/network.h"
+
+namespace tn::probe {
+
+class SimProbeEngine final : public ProbeEngine {
+ public:
+  // Probes are injected at `origin` (the vantage host). The network is
+  // borrowed; it must outlive the engine.
+  SimProbeEngine(sim::Network& network, sim::NodeId origin) noexcept
+      : network_(network), origin_(origin) {}
+
+  sim::NodeId origin() const noexcept { return origin_; }
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    return network_.send_probe(origin_, request);
+  }
+
+  sim::Network& network_;
+  sim::NodeId origin_;
+};
+
+}  // namespace tn::probe

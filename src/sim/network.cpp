@@ -1,0 +1,224 @@
+#include "sim/network.h"
+
+namespace tn::sim {
+
+namespace {
+std::uint64_t mix(std::uint64_t seed) noexcept {
+  seed ^= seed >> 33;
+  seed *= 0xFF51AFD7ED558CCDULL;
+  seed ^= seed >> 33;
+  seed *= 0xC4CEB9FE1A85EC53ULL;
+  seed ^= seed >> 33;
+  return seed;
+}
+}  // namespace
+
+net::ProbeReply Network::count(net::ProbeReply reply) {
+  switch (reply.type) {
+    case net::ResponseType::kNone: ++stats_.silent; break;
+    case net::ResponseType::kEchoReply: ++stats_.echo_replies; break;
+    case net::ResponseType::kTtlExceeded: ++stats_.ttl_exceeded; break;
+    case net::ResponseType::kPortUnreachable:
+    case net::ResponseType::kHostUnreachable: ++stats_.unreachable; break;
+    case net::ResponseType::kTcpReset: ++stats_.tcp_resets; break;
+  }
+  return reply;
+}
+
+void Network::set_rate_limiter(NodeId node, RateLimiter limiter) {
+  limiters_[node] = limiter;
+}
+
+bool Network::admit_response(NodeId node) {
+  const auto it = limiters_.find(node);
+  if (it == limiters_.end()) return true;
+  if (it->second.allow(now_us_)) return true;
+  ++stats_.rate_limited;
+  return false;
+}
+
+net::Ipv4Addr Network::reply_source(NodeId node_id, ResponsePolicy policy,
+                                    InterfaceId probed_iface,
+                                    InterfaceId incoming_iface,
+                                    SubnetId origin_subnet,
+                                    InterfaceId default_iface) {
+  const Node& node = topology_.node(node_id);
+  switch (policy) {
+    case ResponsePolicy::kNil:
+      return {};
+    case ResponsePolicy::kProbed:
+      if (probed_iface != kInvalidId) return topology_.interface(probed_iface).addr;
+      break;
+    case ResponsePolicy::kIncoming:
+      if (incoming_iface != kInvalidId)
+        return topology_.interface(incoming_iface).addr;
+      break;
+    case ResponsePolicy::kShortestPath: {
+      const InterfaceId egress =
+          routing_.shortest_path_egress(node_id, origin_subnet);
+      if (egress != kInvalidId) return topology_.interface(egress).addr;
+      break;
+    }
+    case ResponsePolicy::kDefault:
+      if (default_iface != kInvalidId)
+        return topology_.interface(default_iface).addr;
+      break;
+  }
+  // Policy could not designate an interface (e.g. incoming unknown for a
+  // locally originated packet): fall back to the node's first interface, the
+  // closest analogue of a loopback/default address.
+  if (!node.interfaces.empty())
+    return topology_.interface(node.interfaces.front()).addr;
+  return {};
+}
+
+net::ProbeReply Network::respond_direct(NodeId node_id, const net::Probe& probe,
+                                        InterfaceId target_iface,
+                                        InterfaceId incoming_iface,
+                                        SubnetId origin_subnet) {
+  const Interface& target = topology_.interface(target_iface);
+  if (!target.responsive) return count(net::ProbeReply::none());
+  if (target.flakiness > 0.0) {
+    // Deterministic per-probe drop: same run -> same outcome; different
+    // probe schedule -> different drop pattern.
+    const std::uint64_t roll = mix(
+        (static_cast<std::uint64_t>(target_iface) << 32) ^ stats_.probes_injected);
+    if (static_cast<double>(roll >> 11) * 0x1.0p-53 < target.flakiness)
+      return count(net::ProbeReply::none());
+  }
+  const ResponseConfig& config =
+      topology_.node(node_id).config_for(probe.protocol);
+  if (config.direct == ResponsePolicy::kNil) return count(net::ProbeReply::none());
+  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+
+  const net::Ipv4Addr source =
+      reply_source(node_id, config.direct, target_iface, incoming_iface,
+                   origin_subnet, config.default_interface);
+  if (source.is_unset()) return count(net::ProbeReply::none());
+
+  net::ResponseType type = net::ResponseType::kEchoReply;
+  switch (probe.protocol) {
+    case net::ProbeProtocol::kIcmp: type = net::ResponseType::kEchoReply; break;
+    case net::ProbeProtocol::kUdp: type = net::ResponseType::kPortUnreachable; break;
+    case net::ProbeProtocol::kTcp: type = net::ResponseType::kTcpReset; break;
+  }
+  return count(net::ProbeReply{type, source});
+}
+
+net::ProbeReply Network::respond_indirect(NodeId node_id, const net::Probe& probe,
+                                          InterfaceId incoming_iface,
+                                          SubnetId origin_subnet) {
+  const ResponseConfig& config =
+      topology_.node(node_id).config_for(probe.protocol);
+  if (config.indirect == ResponsePolicy::kNil)
+    return count(net::ProbeReply::none());
+  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+
+  const net::Ipv4Addr source =
+      reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
+                   origin_subnet, config.default_interface);
+  if (source.is_unset()) return count(net::ProbeReply::none());
+  return count(net::ProbeReply{net::ResponseType::kTtlExceeded, source});
+}
+
+net::ProbeReply Network::arp_fail(NodeId node_id, const net::Probe& probe,
+                                  InterfaceId incoming_iface,
+                                  SubnetId origin_subnet, const Subnet& lan) {
+  if (lan.arp_fail == ArpFailBehavior::kSilent)
+    return count(net::ProbeReply::none());
+  const ResponseConfig& config =
+      topology_.node(node_id).config_for(probe.protocol);
+  if (config.indirect == ResponsePolicy::kNil)
+    return count(net::ProbeReply::none());
+  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+  const net::Ipv4Addr source =
+      reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
+                   origin_subnet, config.default_interface);
+  if (source.is_unset()) return count(net::ProbeReply::none());
+  return count(net::ProbeReply{net::ResponseType::kHostUnreachable, source});
+}
+
+std::optional<RoutingTable::NextHop> Network::pick_next_hop(
+    NodeId node_id, const net::Probe& probe, SubnetId target_subnet) {
+  const auto hops = routing_.next_hops(node_id, target_subnet);
+  if (hops.empty()) return std::nullopt;
+  if (hops.size() == 1) return hops.front();
+
+  if (topology_.per_packet_load_balancing(node_id)) {
+    const std::uint32_t turn = round_robin_[node_id]++;
+    return hops[turn % hops.size()];
+  }
+  // Per-flow: a stable hash of (this router, flow selector, flow id,
+  // protocol). With kPerDestSubnet the selector is the destination prefix, so
+  // all addresses of one subnet share an ingress (§3.2(ii)).
+  const std::uint64_t selector =
+      config_.ecmp_hash == EcmpHashMode::kPerDestSubnet
+          ? static_cast<std::uint64_t>(target_subnet)
+          : static_cast<std::uint64_t>(probe.target.value());
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(node_id) << 40) ^ (selector << 8) ^
+          (static_cast<std::uint64_t>(probe.flow_id) << 2) ^
+          static_cast<std::uint64_t>(probe.protocol));
+  return hops[h % hops.size()];
+}
+
+net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
+  now_us_ += config_.inter_probe_gap_us;
+  ++stats_.probes_injected;
+
+  const Node& origin_node = topology_.node(origin);
+  if (origin_node.interfaces.empty()) return count(net::ProbeReply::none());
+  const SubnetId origin_subnet =
+      topology_.interface(origin_node.interfaces.front()).subnet;
+
+  const auto target_iface = topology_.find_interface(probe.target);
+  const auto target_subnet =
+      target_iface
+          ? std::optional<SubnetId>(topology_.interface(*target_iface).subnet)
+          : topology_.find_subnet_containing(probe.target);
+  if (!target_subnet) return count(net::ProbeReply::none());  // no route
+
+  int ttl = probe.ttl;
+  NodeId current = origin;
+  InterfaceId incoming = kInvalidId;
+
+  for (int step = 0; step < config_.max_hops; ++step) {
+    if (step_hook_) step_hook_(current, probe);
+
+    // Delivery: the packet is destined to one of this node's addresses.
+    if (target_iface && topology_.interface(*target_iface).node == current) {
+      if (topology_.subnet(topology_.interface(*target_iface).subnet).firewalled)
+        return count(net::ProbeReply::none());
+      return respond_direct(current, probe, *target_iface, incoming,
+                            origin_subnet);
+    }
+
+    const Node& node = topology_.node(current);
+    if (node.is_host && current != origin)
+      return count(net::ProbeReply::none());  // hosts do not forward
+
+    // Forwarding: routers decrement TTL; the originator does not.
+    if (current != origin) {
+      --ttl;
+      if (ttl <= 0) return respond_indirect(current, probe, incoming, origin_subnet);
+    }
+
+    if (const auto local = topology_.interface_on(current, *target_subnet)) {
+      // Final LAN: deliver to the owner across the subnet, or fail "ARP".
+      const Subnet& lan = topology_.subnet(*target_subnet);
+      if (lan.firewalled) return count(net::ProbeReply::none());
+      if (!target_iface) return arp_fail(current, probe, incoming, origin_subnet, lan);
+      current = topology_.interface(*target_iface).node;
+      incoming = *target_iface;
+      continue;
+    }
+
+    const auto hop = pick_next_hop(current, probe, *target_subnet);
+    if (!hop) return count(net::ProbeReply::none());  // unreachable
+    current = hop->node;
+    incoming = hop->ingress;
+  }
+  return count(net::ProbeReply::none());  // loop guard tripped
+}
+
+}  // namespace tn::sim

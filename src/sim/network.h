@@ -1,0 +1,114 @@
+// Network: the simulator's forwarding + ICMP-generation plane.
+//
+// Given a probe injected at a vantage host, walks it router by router with
+// real TTL semantics and produces exactly the reply a live network would:
+//
+//   * delivery to an owned address  -> direct reply per the node's response
+//     policy (Echo Reply / Port Unreachable / TCP RST by protocol);
+//   * TTL expiry while forwarding   -> ICMP Time Exceeded per the node's
+//     indirect policy (incoming / shortest-path / default interface, §3.1);
+//   * unassigned address on the LAN -> silence or Host Unreachable
+//     (ArpFailBehavior);
+//   * firewalled destination prefix -> silence;
+//   * unresponsive interface / nil policy / rate-limited -> silence.
+//
+// Equal-cost multipath is resolved per-flow (deterministic hash) or
+// per-packet (round-robin) per node, reproducing §3.7's path fluctuations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/ratelimit.h"
+#include "sim/routing.h"
+#include "sim/topology.h"
+
+namespace tn::sim {
+
+// What equal-cost hashing keys on. Destination-prefix hashing keeps the
+// ingress router of a subnet fixed across its addresses (the paper's Fixed
+// Ingress Router observation, §3.2(ii)); per-address hashing is the
+// adversarial mode where different addresses of one subnet may enter through
+// different routers.
+enum class EcmpHashMode : std::uint8_t {
+  kPerDestSubnet,
+  kPerDestAddr,
+};
+
+struct NetworkConfig {
+  EcmpHashMode ecmp_hash = EcmpHashMode::kPerDestSubnet;
+  // Virtual time advanced per injected probe; drives rate limiters.
+  std::uint64_t inter_probe_gap_us = 1000;
+  int max_hops = 64;  // forwarding loop guard
+};
+
+struct NetworkStats {
+  std::uint64_t probes_injected = 0;
+  std::uint64_t echo_replies = 0;
+  std::uint64_t ttl_exceeded = 0;
+  std::uint64_t unreachable = 0;  // host + port unreachable
+  std::uint64_t tcp_resets = 0;
+  std::uint64_t silent = 0;
+  std::uint64_t rate_limited = 0;  // responses suppressed by rate limiting
+};
+
+class Network {
+ public:
+  explicit Network(const Topology& topology, NetworkConfig config = {})
+      : topology_(topology), routing_(topology), config_(config) {}
+
+  // Injects `probe` from `origin` (a host or router in the topology) and
+  // returns the reply the origin would eventually observe (kNone = silence).
+  // This is the only way traffic enters the simulator.
+  net::ProbeReply send_probe(NodeId origin, const net::Probe& probe);
+
+  // Installs a response rate limiter on one node.
+  void set_rate_limiter(NodeId node, RateLimiter limiter);
+
+  // Test hook: invoked before each forwarding decision; lets tests flip links
+  // or configs mid-walk to create §3.7 route changes. Cleared with {}.
+  using StepHook = std::function<void(NodeId current, const net::Probe&)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  std::uint64_t now_us() const noexcept { return now_us_; }
+  const RoutingTable& routing() const noexcept { return routing_; }
+
+ private:
+  net::ProbeReply respond_direct(NodeId node, const net::Probe& probe,
+                                 InterfaceId target_iface,
+                                 InterfaceId incoming_iface, SubnetId origin_subnet);
+  net::ProbeReply respond_indirect(NodeId node, const net::Probe& probe,
+                                   InterfaceId incoming_iface,
+                                   SubnetId origin_subnet);
+  net::ProbeReply arp_fail(NodeId node, const net::Probe& probe,
+                           InterfaceId incoming_iface, SubnetId origin_subnet,
+                           const Subnet& lan);
+
+  // Resolves the source address of a reply per `policy`; kInvalidId-free
+  // result of unset means "suppress the reply".
+  net::Ipv4Addr reply_source(NodeId node, ResponsePolicy policy,
+                             InterfaceId probed_iface, InterfaceId incoming_iface,
+                             SubnetId origin_subnet, InterfaceId default_iface);
+
+  bool admit_response(NodeId node);
+
+  std::optional<RoutingTable::NextHop> pick_next_hop(NodeId node,
+                                                     const net::Probe& probe,
+                                                     SubnetId target_subnet);
+
+  net::ProbeReply count(net::ProbeReply reply);
+
+  const Topology& topology_;
+  RoutingTable routing_;
+  NetworkConfig config_;
+  NetworkStats stats_;
+  std::uint64_t now_us_ = 0;
+  std::unordered_map<NodeId, RateLimiter> limiters_;
+  std::unordered_map<NodeId, std::uint32_t> round_robin_;
+  StepHook step_hook_;
+};
+
+}  // namespace tn::sim

@@ -1,0 +1,46 @@
+// Token-bucket ICMP response rate limiter.
+//
+// §4.2: "routers or ISPs regulate their responsiveness to probes based on the
+// traffic load or any other rate limiting policies" — the paper names this as
+// the cause of cross-vantage disagreement on subnet sizes. The bucket runs on
+// the simulator's virtual clock, so behaviour is fully deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace tn::sim {
+
+class RateLimiter {
+ public:
+  // A disabled limiter admits everything.
+  RateLimiter() = default;
+
+  // `tokens_per_second` responses sustained, bursts up to `burst`.
+  RateLimiter(double tokens_per_second, double burst) noexcept
+      : rate_(tokens_per_second), burst_(burst), tokens_(burst), enabled_(true) {}
+
+  bool enabled() const noexcept { return enabled_; }
+
+  // Consumes one token if available at virtual time `now_us`; returns whether
+  // the response may be sent.
+  bool allow(std::uint64_t now_us) noexcept {
+    if (!enabled_) return true;
+    const double elapsed_s =
+        static_cast<double>(now_us - last_us_) / 1'000'000.0;
+    last_us_ = now_us;
+    tokens_ = tokens_ + elapsed_s * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  std::uint64_t last_us_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace tn::sim

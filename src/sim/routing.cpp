@@ -1,0 +1,100 @@
+#include "sim/routing.h"
+
+#include <deque>
+
+namespace tn::sim {
+
+int RoutingTable::distance(NodeId from, SubnetId target) const {
+  return distances_for(target).at(from);
+}
+
+std::vector<RoutingTable::NextHop> RoutingTable::next_hops(
+    NodeId from, SubnetId target) const {
+  const DistanceVector& dist = distances_for(target);
+  std::vector<NextHop> out;
+  const int d = dist.at(from);
+  if (d <= 0) return out;  // attached (local delivery) or unreachable
+
+  for (const InterfaceId egress : topology_.node(from).interfaces) {
+    const Subnet& lan = topology_.subnet(topology_.interface(egress).subnet);
+    for (const InterfaceId peer : lan.interfaces) {
+      if (peer == egress) continue;
+      const NodeId v = topology_.interface(peer).node;
+      if (dist[v] != d - 1) continue;
+      // Hosts never forward transit traffic; they may only terminate a path
+      // by delivering onto the target LAN themselves (dist 0).
+      if (topology_.node(v).is_host && dist[v] != 0) continue;
+      out.push_back(NextHop{v, egress, peer});
+    }
+  }
+  return out;
+}
+
+InterfaceId RoutingTable::shortest_path_egress(NodeId from,
+                                               SubnetId toward_subnet) const {
+  // Attached: the interface on the subnet itself is the egress.
+  if (const auto local = topology_.interface_on(from, toward_subnet))
+    return *local;
+  InterfaceId best = kInvalidId;
+  for (const NextHop& hop : next_hops(from, toward_subnet)) {
+    if (best == kInvalidId ||
+        topology_.interface(hop.egress).addr < topology_.interface(best).addr)
+      best = hop.egress;
+  }
+  return best;
+}
+
+const RoutingTable::DistanceVector& RoutingTable::distances_for(
+    SubnetId target) const {
+  if (cached_version_ != topology_.version()) {
+    lru_.clear();
+    index_.clear();
+    cached_version_ = topology_.version();
+  }
+  if (const auto hit = index_.find(target); hit != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
+    return hit->second->second;
+  }
+
+  // Reverse BFS from the target subnet over the bipartite node <-> LAN
+  // structure. dist[n] = router hops from n to the subnet (0 if attached).
+  // A node u relaxes its LAN peers only if u can forward transit traffic
+  // (not a host) or u is attached to the target (local delivery).
+  DistanceVector dist(topology_.node_count(), kUnreachable);
+  std::deque<NodeId> queue;
+  for (const InterfaceId iface : topology_.subnet(target).interfaces) {
+    const NodeId node = topology_.interface(iface).node;
+    if (dist[node] != 0) {
+      dist[node] = 0;
+      queue.push_back(node);
+    }
+  }
+  std::vector<bool> lan_done(topology_.subnet_count(), false);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (topology_.node(u).is_host && dist[u] != 0) continue;
+    for (const InterfaceId egress : topology_.node(u).interfaces) {
+      const SubnetId lan_id = topology_.interface(egress).subnet;
+      if (lan_done[lan_id]) continue;  // every peer already relaxed once
+      lan_done[lan_id] = true;
+      for (const InterfaceId peer : topology_.subnet(lan_id).interfaces) {
+        const NodeId v = topology_.interface(peer).node;
+        if (dist[v] == kUnreachable) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  lru_.emplace_front(target, std::move(dist));
+  index_[target] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+}  // namespace tn::sim

@@ -1,0 +1,67 @@
+// Hop-count shortest-path routing over the router graph.
+//
+// Destinations resolve to subnets; a per-target-subnet reverse BFS yields
+// every node's distance to the subnet. The BFS runs on the bipartite
+// node <-> LAN structure (cost O(#interfaces), never O(k^2) per LAN, so
+// /20-scale multi-access LANs stay cheap). Distance tables are memoized with
+// a small LRU — campaigns exhibit strong target-subnet locality — and are
+// invalidated when the topology version changes, so tests can fail links
+// mid-experiment and observe re-converged routes (§3.7 routing updates).
+//
+// Next-hop sets are computed on demand per (node, target) query in
+// deterministic interface-insertion order, which per-flow ECMP hashing and
+// per-packet round-robin index into.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace tn::sim {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topology, std::size_t cache_capacity = 128)
+      : topology_(topology), capacity_(cache_capacity) {}
+
+  struct NextHop {
+    NodeId node = kInvalidId;
+    InterfaceId egress = kInvalidId;   // on the forwarding node
+    InterfaceId ingress = kInvalidId;  // on the next-hop node
+  };
+
+  static constexpr int kUnreachable = -1;
+
+  // Router-hop distance from `from` to `target` subnet; 0 when attached.
+  int distance(NodeId from, SubnetId target) const;
+
+  // Equal-cost next hops of `from` toward `target`, in deterministic order.
+  // Empty when `from` is attached to the target (local delivery) or the
+  // target is unreachable.
+  std::vector<NextHop> next_hops(NodeId from, SubnetId target) const;
+
+  // The egress interface of `from` on a shortest path toward `toward_subnet`
+  // — the address a shortest-path-policy router reports (§3.1(iii)).  When
+  // several equal-cost egresses exist the lowest-address one is returned
+  // (real routers pick one deterministically as well). kInvalidId when
+  // unreachable.
+  InterfaceId shortest_path_egress(NodeId from, SubnetId toward_subnet) const;
+
+ private:
+  // Distances of every node to one target subnet.
+  using DistanceVector = std::vector<int>;
+
+  const DistanceVector& distances_for(SubnetId target) const;
+
+  const Topology& topology_;
+  std::size_t capacity_;
+
+  // LRU cache: list holds (subnet, distances) in recency order.
+  mutable std::list<std::pair<SubnetId, DistanceVector>> lru_;
+  mutable std::unordered_map<SubnetId, decltype(lru_)::iterator> index_;
+  mutable std::uint64_t cached_version_ = ~0ULL;
+};
+
+}  // namespace tn::sim

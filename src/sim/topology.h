@@ -1,0 +1,111 @@
+// Topology: the authoritative store of nodes, subnets and interfaces, plus
+// the lookup structures the forwarding plane needs (address -> interface,
+// longest-prefix-match address -> subnet, router adjacency).
+//
+// Construction is incremental through the builder methods; structural
+// invariants (addresses inside the subnet prefix, no duplicates, no classic
+// boundary addresses, no probed-interface policy for indirect replies) are
+// enforced at mutation time with std::invalid_argument — a topology that
+// constructs is valid by construction.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "sim/router.h"
+#include "sim/subnet.h"
+#include "sim/types.h"
+
+namespace tn::sim {
+
+class Topology {
+ public:
+  // --- Builders -----------------------------------------------------------
+
+  NodeId add_router(std::string name);
+  NodeId add_host(std::string name);
+
+  // Adds a LAN. Throws if `prefix` overlaps an existing subnet (the Internet
+  // core never announces nested LAN prefixes; keeping them disjoint makes
+  // longest-prefix match unambiguous).
+  SubnetId add_subnet(net::Prefix prefix);
+
+  // Attaches `node` to `subnet` with address `addr`.  Throws when addr is
+  // outside the prefix, already assigned, a network/broadcast address of a
+  // /30-or-shorter prefix, or when the node is already on the subnet.
+  InterfaceId attach(NodeId node, SubnetId subnet, net::Ipv4Addr addr);
+
+  // Sets the per-protocol response configuration of a node (validates that
+  // indirect policy is not kProbed and kDefault has a default interface).
+  void set_response_config(NodeId node, net::ProbeProtocol protocol,
+                           const ResponseConfig& config);
+  void set_response_config_all(NodeId node, const ResponseConfig& config);
+
+  // Marks a node as a per-packet load balancer (round-robin over equal-cost
+  // next hops; the source of §3.7's path fluctuations).
+  void set_per_packet_load_balancing(NodeId node, bool enabled);
+
+  // --- Accessors ----------------------------------------------------------
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t subnet_count() const noexcept { return subnets_.size(); }
+  std::size_t interface_count() const noexcept { return interfaces_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node_mut(NodeId id) { return nodes_.at(id); }
+  const Subnet& subnet(SubnetId id) const { return subnets_.at(id); }
+  Subnet& subnet_mut(SubnetId id) { return subnets_.at(id); }
+  const Interface& interface(InterfaceId id) const { return interfaces_.at(id); }
+  Interface& interface_mut(InterfaceId id) { return interfaces_.at(id); }
+
+  bool per_packet_load_balancing(NodeId node) const {
+    return per_packet_lb_.at(node);
+  }
+
+  // Exact address lookup.
+  std::optional<InterfaceId> find_interface(net::Ipv4Addr addr) const noexcept;
+
+  // Longest-prefix-match over subnet prefixes.
+  std::optional<SubnetId> find_subnet_containing(net::Ipv4Addr addr) const noexcept;
+
+  std::optional<SubnetId> find_subnet_exact(const net::Prefix& prefix) const noexcept;
+
+  // The node's interface on `subnet`, if attached.
+  std::optional<InterfaceId> interface_on(NodeId node, SubnetId subnet) const noexcept;
+
+  // One adjacency edge: from the owner of `egress`, across `via`, to
+  // `neighbor` entering through `ingress`.
+  struct Link {
+    NodeId neighbor = kInvalidId;
+    SubnetId via = kInvalidId;
+    InterfaceId egress = kInvalidId;   // on the source node
+    InterfaceId ingress = kInvalidId;  // on the neighbor
+  };
+
+  // All links out of `node`, in deterministic (insertion) order. Computed on
+  // demand — materializing every LAN's pairwise links is O(k^2) per LAN and
+  // prohibitive for the /20-scale LANs of the ISP topologies.
+  std::vector<Link> links_from(NodeId node) const;
+
+  // Monotonic counter bumped by every structural mutation; RoutingTable uses
+  // it to invalidate cached shortest paths.
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Subnet> subnets_;
+  std::vector<Interface> interfaces_;
+  std::vector<bool> per_packet_lb_;
+
+  std::unordered_map<net::Ipv4Addr, InterfaceId> addr_to_interface_;
+  std::unordered_map<net::Prefix, SubnetId> prefix_to_subnet_;
+
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace tn::sim

@@ -1,0 +1,20 @@
+// Identifier types for the network simulator.
+//
+// Entities live in flat vectors inside Topology and refer to each other by
+// index. Strong typedefs are avoided in favor of distinct named aliases plus
+// a shared invalid sentinel; the Topology accessors bounds-check in debug.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tn::sim {
+
+using NodeId = std::uint32_t;       // a router or host
+using SubnetId = std::uint32_t;     // a LAN (point-to-point or multi-access)
+using InterfaceId = std::uint32_t;  // an (address, node, subnet) attachment
+
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace tn::sim

@@ -1,0 +1,38 @@
+#include "topo/ground_truth.h"
+
+namespace tn::topo {
+
+std::string to_string(SubnetProfile profile) {
+  switch (profile) {
+    case SubnetProfile::kClean: return "clean";
+    case SubnetProfile::kDarkTarget: return "dark-target";
+    case SubnetProfile::kFirewalled: return "firewalled";
+    case SubnetProfile::kSparse: return "sparse";
+    case SubnetProfile::kPartialDark: return "partial-dark";
+    case SubnetProfile::kOverlapBait: return "overlap-bait";
+  }
+  return "?";
+}
+
+const GroundTruthSubnet* SubnetRegistry::find_containing(
+    net::Ipv4Addr addr) const noexcept {
+  for (const GroundTruthSubnet& subnet : subnets_)
+    if (subnet.prefix.contains(addr)) return &subnet;
+  return nullptr;
+}
+
+const GroundTruthSubnet* SubnetRegistry::find_exact(
+    const net::Prefix& prefix) const noexcept {
+  for (const GroundTruthSubnet& subnet : subnets_)
+    if (subnet.prefix == prefix) return &subnet;
+  return nullptr;
+}
+
+std::vector<std::size_t> SubnetRegistry::count_by_prefix_length() const {
+  std::vector<std::size_t> counts(33, 0);
+  for (const GroundTruthSubnet& subnet : subnets_)
+    ++counts[static_cast<std::size_t>(subnet.prefix.length())];
+  return counts;
+}
+
+}  // namespace tn::topo

@@ -1,0 +1,66 @@
+// Ground-truth subnet registry.
+//
+// Generators record, for every subnet they intend tracenet to measure, the
+// published prefix, the assigned addresses, which of them answer probes, and
+// the *profile* — the responsiveness/utilization situation engineered to
+// reproduce one row class of the paper's Tables 1-2 (exact / missing /
+// underestimated / overestimated, each split by unresponsiveness).  The
+// evaluation module compares observed subnets against this registry.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "sim/types.h"
+
+namespace tn::topo {
+
+enum class SubnetProfile : std::uint8_t {
+  kClean,        // responsive & well utilized -> expected exact match
+  kDarkTarget,   // responsive subnet whose designated target is unassigned
+                 // (the trace dies before revealing a member) -> heuristic miss
+  kFirewalled,   // totally unresponsive -> miss attributed to unresponsiveness
+  kSparse,       // responsive but sparsely/clusteredly utilized -> heuristic
+                 // underestimate (Algorithm 1's half-utilization stop)
+  kPartialDark,  // some assigned interfaces never answer -> underestimate
+                 // attributed to unresponsiveness
+  kOverlapBait,  // adjacent half-dark unpublished twin -> overestimate
+};
+
+std::string to_string(SubnetProfile profile);
+
+struct GroundTruthSubnet {
+  net::Prefix prefix;
+  sim::SubnetId subnet = sim::kInvalidId;
+  SubnetProfile profile = SubnetProfile::kClean;
+  std::vector<net::Ipv4Addr> assigned;    // all interface addresses
+  std::vector<net::Ipv4Addr> responsive;  // subset answering direct probes
+  // The address the campaign should trace toward to exercise this subnet
+  // (unassigned for kDarkTarget; unset when the subnet is transit-only).
+  net::Ipv4Addr suggested_target;
+};
+
+class SubnetRegistry {
+ public:
+  void add(GroundTruthSubnet subnet) { subnets_.push_back(std::move(subnet)); }
+
+  std::span<const GroundTruthSubnet> all() const noexcept { return subnets_; }
+  std::size_t size() const noexcept { return subnets_.size(); }
+
+  // The registered subnet whose prefix contains `addr`, if any.
+  const GroundTruthSubnet* find_containing(net::Ipv4Addr addr) const noexcept;
+
+  const GroundTruthSubnet* find_exact(const net::Prefix& prefix) const noexcept;
+
+  // Count of registered subnets per prefix length (the "orgl" table row).
+  std::vector<std::size_t> count_by_prefix_length() const;  // index = length
+
+ private:
+  std::vector<GroundTruthSubnet> subnets_;
+};
+
+}  // namespace tn::topo

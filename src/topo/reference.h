@@ -1,0 +1,55 @@
+// Reference topologies: Internet2-like and GEANT-like.
+//
+// §4.1 of the paper derives ground-truth subnet lists from the published
+// Internet2 and GEANT topologies and traces one random address per subnet.
+// These builders reconstruct topologies with the *same published prefix
+// distribution* (the "orgl" rows of Tables 1 and 2) and engineer per-subnet
+// responsiveness/utilization profiles so that each row class of the tables
+// (exact / missing / underestimated / overestimated, split by
+// unresponsiveness) arises from the same mechanism the paper reports:
+// firewalled prefixes, partially dark LANs, sparse utilization stopping
+// Algorithm 1's half-utilization rule, an unlucky unassigned trace target,
+// and one adjacent half-dark unpublished twin for the overestimate.
+//
+// Structure: a ring backbone (unregistered infrastructure, like the paper's
+// unpublished management links), registered point-to-point chains growing a
+// random tree off it, and registered multi-access LANs hanging off random
+// routers with host members.
+#pragma once
+
+#include <span>
+
+#include "sim/topology.h"
+#include "topo/ground_truth.h"
+
+namespace tn::topo {
+
+struct ReferenceRow {
+  int prefix_length;
+  int count;
+  SubnetProfile profile;
+};
+
+struct ReferenceTopology {
+  std::string name;
+  sim::Topology topo;
+  sim::NodeId vantage = sim::kInvalidId;
+  SubnetRegistry registry;
+  // One trace destination per registered subnet, in registry order — the
+  // paper's "destination IP address sets ... selecting a random IP address
+  // from each of their original subnets".
+  std::vector<net::Ipv4Addr> targets;
+};
+
+// Generic builder used by both references (and by tests for small specs).
+ReferenceTopology build_reference(std::string name, net::Prefix block,
+                                  std::span<const ReferenceRow> rows,
+                                  int core_count, std::uint64_t seed);
+
+// Internet2-like: 179 subnets with Table 1's distribution.
+ReferenceTopology internet2_like(std::uint64_t seed = 42);
+
+// GEANT-like: 271 subnets with Table 2's distribution.
+ReferenceTopology geant_like(std::uint64_t seed = 43);
+
+}  // namespace tn::topo

@@ -1,0 +1,54 @@
+#include "util/args.h"
+
+#include "util/strings.h"
+
+namespace tn::util {
+
+bool Args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (known_flags_.contains(name)) {
+      if (inline_value) {
+        error_ = "--" + name + " does not take a value";
+        return false;
+      }
+      flags_.insert(name);
+    } else if (known_options_.contains(name)) {
+      if (inline_value) {
+        options_[name] = *inline_value;
+      } else if (i + 1 < argc) {
+        options_[name] = argv[++i];
+      } else {
+        error_ = "--" + name + " needs a value";
+        return false;
+      }
+    } else {
+      error_ = "unknown option --" + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> Args::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::option_or(const std::string& name, std::string fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::move(fallback) : it->second;
+}
+
+}  // namespace tn::util

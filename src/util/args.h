@@ -1,0 +1,41 @@
+// Minimal command-line option parser for the tools and examples.
+//
+// Supports "--flag", "--key value", "--key=value" and positional arguments;
+// unknown options are errors (typos should not silently change behaviour).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tn::util {
+
+class Args {
+ public:
+  // `flags` are boolean options; `options` take a value. Parsing stops with
+  // an error message on anything not declared.
+  Args(std::set<std::string> flags, std::set<std::string> options)
+      : known_flags_(std::move(flags)), known_options_(std::move(options)) {}
+
+  // Returns true on success; on failure error() describes the problem.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const { return flags_.contains(name); }
+  std::optional<std::string> option(const std::string& name) const;
+  // Option with fallback.
+  std::string option_or(const std::string& name, std::string fallback) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::set<std::string> known_flags_;
+  std::set<std::string> known_options_;
+  std::set<std::string> flags_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace tn::util

@@ -1,0 +1,76 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tn::util {
+
+namespace {
+double scaled(double value, bool log_scale) {
+  if (value <= 0.0) return 0.0;
+  return log_scale ? std::log10(1.0 + value) : value;
+}
+
+std::string bar_of(double value, double max_scaled, bool log_scale, int width) {
+  const double s = scaled(value, log_scale);
+  int len = max_scaled > 0.0
+                ? static_cast<int>(std::lround(s / max_scaled * width))
+                : 0;
+  if (value > 0.0 && len == 0) len = 1;  // visible tick for tiny nonzero bars
+  return std::string(static_cast<std::size_t>(len), '#');
+}
+}  // namespace
+
+std::string render_bars(const std::vector<HistogramBar>& bars, int width,
+                        bool log_scale) {
+  std::size_t label_width = 0;
+  double max_scaled = 0.0;
+  for (const auto& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+    max_scaled = std::max(max_scaled, scaled(bar.value, log_scale));
+  }
+  std::string out;
+  char buffer[64];
+  for (const auto& bar : bars) {
+    out += bar.label;
+    out.append(label_width - bar.label.size(), ' ');
+    std::snprintf(buffer, sizeof buffer, " %10.0f ", bar.value);
+    out += buffer;
+    out += bar_of(bar.value, max_scaled, log_scale, width);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_grouped(const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& series_names,
+                           const std::vector<std::vector<double>>& values,
+                           int width, bool log_scale) {
+  std::size_t label_width = 0;
+  for (const auto& label : row_labels) label_width = std::max(label_width, label.size());
+  for (const auto& name : series_names) label_width = std::max(label_width, name.size() + 2);
+
+  double max_scaled = 0.0;
+  for (const auto& row : values)
+    for (double v : row) max_scaled = std::max(max_scaled, scaled(v, log_scale));
+
+  std::string out;
+  char buffer[64];
+  for (std::size_t r = 0; r < row_labels.size() && r < values.size(); ++r) {
+    out += row_labels[r];
+    out += '\n';
+    for (std::size_t s = 0; s < series_names.size() && s < values[r].size(); ++s) {
+      out += "  ";
+      out += series_names[s];
+      out.append(label_width - series_names[s].size() - 2, ' ');
+      std::snprintf(buffer, sizeof buffer, " %10.0f ", values[r][s]);
+      out += buffer;
+      out += bar_of(values[r][s], max_scaled, log_scale, width);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace tn::util

@@ -1,0 +1,29 @@
+// Text histograms for the figure-style benches (Figures 7-9 of the paper are
+// bar charts; we render them as labeled ASCII bars plus the raw series).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tn::util {
+
+struct HistogramBar {
+  std::string label;
+  double value = 0.0;
+};
+
+// Renders horizontal bars scaled to `width` characters.  When `log_scale` is
+// set, bar lengths are proportional to log10(1+value) — matching the paper's
+// Figure 9 presentation where /31 counts dwarf /20 counts.
+std::string render_bars(const std::vector<HistogramBar>& bars, int width = 50,
+                        bool log_scale = false);
+
+// Groups values into `series` side by side (e.g. one bar group per ISP with
+// one bar per vantage point).  Labels rows by `row_labels`.
+std::string render_grouped(const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& series_names,
+                           const std::vector<std::vector<double>>& values,
+                           int width = 40, bool log_scale = false);
+
+}  // namespace tn::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger for the tracenet library.
+//
+// The library is used both as an interactive measurement tool (where per-probe
+// diagnostics matter) and inside large simulation campaigns (where they must
+// be silent).  A single process-wide level keeps the hot path to one branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tn::util {
+
+enum class LogLevel {
+  kTrace = 0,  // per-probe events
+  kDebug = 1,  // per-hop / per-subnet decisions
+  kInfo = 2,   // per-session summaries
+  kWarn = 3,   // recoverable anomalies (unexpected responses, shrink events)
+  kError = 4,  // programming or configuration errors
+  kOff = 5,
+};
+
+// Returns the current process-wide log level.
+LogLevel log_level() noexcept;
+
+// Sets the process-wide log level. Not thread-safe by design: campaigns set
+// it once at startup.
+void set_log_level(LogLevel level) noexcept;
+
+// Emits one line to stderr if `level` passes the process-wide threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+// Convenience: true when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+// Builds a log line from streamable parts only when the level is enabled.
+template <typename... Parts>
+void log(LogLevel level, std::string_view component, const Parts&... parts) {
+  if (!log_enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(level, component, os.str());
+}
+
+// Parses "trace" | "debug" | "info" | "warn" | "error" | "off".
+// Returns kInfo for unrecognized input.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+}  // namespace tn::util

@@ -1,0 +1,35 @@
+// Small string helpers shared by the table renderer, serializers and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tn::util {
+
+// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow instead of throwing (used on untrusted topology files).
+bool parse_u64(std::string_view text, std::uint64_t& out) noexcept;
+
+// Fixed-point formatting without iostream state leakage: 3 -> "3.000".
+std::string format_double(double value, int decimals);
+
+// Renders `numerator/denominator` as a percentage string, "n/a" when the
+// denominator is zero.
+std::string percent(std::uint64_t numerator, std::uint64_t denominator, int decimals = 1);
+
+}  // namespace tn::util

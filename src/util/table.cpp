@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace tn::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells,
+                      bool left_align_first) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      if (c == 0 && left_align_first) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+      out += (c + 1 == header_.size()) ? "\n" : "  ";
+    }
+  };
+
+  std::size_t total = header_.size() * 2;  // separators + newline slack
+  for (std::size_t w : widths) total += w;
+
+  std::string out;
+  emit_row(out, header_, true);
+  out.append(total, '-');
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      out.append(total, '-');
+      out += '\n';
+    } else {
+      emit_row(out, row.cells, true);
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += ',';
+      if (c < cells.size()) out += csv_escape(cells[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const Row& row : rows_)
+    if (!row.rule) emit(row.cells);
+  return out;
+}
+
+}  // namespace tn::util

@@ -1,0 +1,42 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables (rows of counts per prefix length, per ISP, ...) next to the
+// measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tn::util {
+
+// A right-aligned text table with a header row.  Cells are strings so callers
+// control numeric formatting; column widths adapt to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  // Appends a horizontal rule between row groups.
+  void add_rule();
+
+  // Renders with single-space-padded columns and a rule under the header.
+  std::string render() const;
+
+  // Renders as CSV (no alignment, header first). Cells containing commas or
+  // quotes are quoted per RFC 4180.
+  std::string render_csv() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace tn::util

@@ -1,0 +1,119 @@
+#include "core/alias.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "probe/sim_engine.h"
+#include "testutil.h"
+
+namespace tn::core {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+ObservedSubnet make_subnet(std::string_view prefix,
+                           std::initializer_list<std::string_view> members,
+                           std::string_view contra, std::string_view entry,
+                           std::string_view ingress = "") {
+  ObservedSubnet subnet;
+  subnet.prefix = pfx(prefix);
+  for (const auto m : members) subnet.members.push_back(ip(m));
+  std::sort(subnet.members.begin(), subnet.members.end());
+  if (!contra.empty()) subnet.contra_pivot = ip(contra);
+  if (!entry.empty()) subnet.trace_entry = ip(entry);
+  if (!ingress.empty()) subnet.ingress = ip(ingress);
+  if (!subnet.members.empty()) subnet.pivot = subnet.members.back();
+  return subnet;
+}
+
+TEST(Alias, ContraPivotAliasesTraceEntry) {
+  AliasResolver resolver;
+  // Ingress router owns 10.0.0.2 (trace entry, previous hop) and
+  // 192.168.0.1 (contra-pivot on the explored LAN).
+  resolver.add_subnet(make_subnet("192.168.0.0/29",
+                                  {"192.168.0.1", "192.168.0.2", "192.168.0.3"},
+                                  "192.168.0.1", "10.0.0.2"));
+  EXPECT_TRUE(resolver.same_router(ip("192.168.0.1"), ip("10.0.0.2")));
+  EXPECT_FALSE(resolver.same_router(ip("192.168.0.2"), ip("10.0.0.2")));
+  ASSERT_EQ(resolver.alias_sets().size(), 1u);
+  EXPECT_EQ(resolver.alias_pairs().size(), 1u);
+}
+
+TEST(Alias, PositionedIngressJoinsTheSet) {
+  AliasResolver resolver;
+  resolver.add_subnet(make_subnet("192.168.0.0/29",
+                                  {"192.168.0.1", "192.168.0.2"},
+                                  "192.168.0.1", "10.0.0.2", "10.0.9.9"));
+  EXPECT_TRUE(resolver.same_router(ip("10.0.0.2"), ip("10.0.9.9")));
+  EXPECT_TRUE(resolver.same_router(ip("192.168.0.1"), ip("10.0.9.9")));
+  ASSERT_EQ(resolver.alias_sets().size(), 1u);
+  EXPECT_EQ(resolver.alias_sets()[0].size(), 3u);
+}
+
+TEST(Alias, ChainsAcrossSubnets) {
+  AliasResolver resolver;
+  // Subnet A's contra aliases entry e1; subnet B's entry is A's contra,
+  // chaining all three onto one router.
+  resolver.add_subnet(make_subnet("192.168.0.0/30",
+                                  {"192.168.0.1", "192.168.0.2"},
+                                  "192.168.0.1", "10.0.0.2"));
+  resolver.add_subnet(make_subnet("192.168.4.0/30",
+                                  {"192.168.4.1", "192.168.4.2"},
+                                  "192.168.4.1", "192.168.0.1"));
+  EXPECT_TRUE(resolver.same_router(ip("10.0.0.2"), ip("192.168.4.1")));
+}
+
+TEST(Alias, RefusesToMergeSubnetPeers) {
+  AliasResolver resolver;
+  // Record the subnet first (its members carry the no-alias constraint),
+  // then feed a bogus rule trying to alias two of its members.
+  resolver.add_subnet(make_subnet("192.168.0.0/29",
+                                  {"192.168.0.1", "192.168.0.2", "192.168.0.3"},
+                                  "192.168.0.1", "10.0.0.2"));
+  ObservedSubnet bogus = make_subnet("172.16.0.0/30",
+                                     {"172.16.0.1", "172.16.0.2"},
+                                     "192.168.0.2", "192.168.0.3");
+  resolver.add_subnet(bogus);
+  EXPECT_FALSE(resolver.same_router(ip("192.168.0.2"), ip("192.168.0.3")));
+  EXPECT_GE(resolver.conflicts(), 1u);
+}
+
+TEST(Alias, EndToEndOnFig3IsExact) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  probe::SimProbeEngine engine(net, f.vantage);
+  TracenetSession session(engine);
+
+  AliasResolver resolver;
+  for (const auto target : {f.pivot4, ip("10.0.4.2"), f.close_fringe})
+    resolver.add_session(session.run(target));
+
+  // Every inferred pair must be true in the simulator.
+  for (const auto& [a, b] : resolver.alias_pairs()) {
+    const auto ia = f.topo.find_interface(a);
+    const auto ib = f.topo.find_interface(b);
+    ASSERT_TRUE(ia && ib) << a.to_string() << " " << b.to_string();
+    EXPECT_EQ(f.topo.interface(*ia).node, f.topo.interface(*ib).node)
+        << a.to_string() << " / " << b.to_string();
+  }
+  // And it must have found at least R2's pair: its chain interface
+  // (10.0.2.1) aliases its LAN interface (192.168.1.1).
+  EXPECT_TRUE(resolver.same_router(ip("10.0.2.1"), f.contra));
+  EXPECT_EQ(resolver.conflicts(), 0u);
+}
+
+TEST(Alias, NoFalseAliasesAcrossRouters) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  probe::SimProbeEngine engine(net, f.vantage);
+  TracenetSession session(engine);
+  AliasResolver resolver;
+  resolver.add_session(session.run(f.pivot4));
+  // Distinct LAN members must never alias.
+  EXPECT_FALSE(resolver.same_router(f.pivot3, f.pivot4));
+  EXPECT_FALSE(resolver.same_router(f.pivot3, f.pivot6));
+}
+
+}  // namespace
+}  // namespace tn::core

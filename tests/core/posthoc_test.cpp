@@ -1,0 +1,89 @@
+#include "core/posthoc.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tn::core {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+AddressObservation obs(std::string_view addr, int distance) {
+  return AddressObservation{ip(addr), distance};
+}
+
+TEST(PostHoc, MergesMatePairs) {
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.0", 3), obs("10.0.0.1", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].prefix, pfx("10.0.0.0/31"));
+}
+
+TEST(PostHoc, RefusesDistanceGapOverOne) {
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.0", 3), obs("10.0.0.1", 5)};
+  const auto subnets = infer_subnets_posthoc(data);
+  EXPECT_EQ(subnets.size(), 2u);  // unit subnet diameter violated
+}
+
+TEST(PostHoc, RefusesBoundaryAddressMembership) {
+  // 10.0.0.4 would be the network address of 10.0.0.4/30: merging the two
+  // /31s is rejected.
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.4", 4), obs("10.0.0.5", 4), obs("10.0.0.6", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  for (const auto& subnet : subnets) EXPECT_GE(subnet.prefix.length(), 31);
+}
+
+TEST(PostHoc, GrowsDenseSlash29) {
+  std::vector<AddressObservation> data;
+  for (int i = 1; i <= 6; ++i)
+    data.push_back(obs("10.0.0." + std::to_string(i), i == 1 ? 3 : 4));
+  const auto subnets = infer_subnets_posthoc(data);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].prefix, pfx("10.0.0.0/29"));
+  EXPECT_EQ(subnets[0].members.size(), 6u);
+}
+
+TEST(PostHoc, UtilizationRuleBlocksSparseMerge) {
+  // Two addresses alone cannot justify a /29 (2 <= 8/2).
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.1", 4), obs("10.0.0.6", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  EXPECT_EQ(subnets.size(), 2u);
+}
+
+TEST(PostHoc, DuplicateObservationsKeepSmallestDistance) {
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.1", 7), obs("10.0.0.1", 4), obs("10.0.0.2", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].members.size(), 2u);
+}
+
+TEST(PostHoc, SingletonReportsSlash32) {
+  const std::vector<AddressObservation> data = {obs("10.0.0.9", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].prefix.length(), 32);
+}
+
+TEST(PostHoc, MergesOnlyWhatWasObserved) {
+  // The fundamental limitation tracenet removes: an address that never
+  // appeared on any trace cannot be inferred.
+  const std::vector<AddressObservation> data = {
+      obs("10.0.0.1", 4), obs("10.0.0.2", 4)};
+  const auto subnets = infer_subnets_posthoc(data);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].members.size(), 2u);  // .3-.6 unknown to the method
+}
+
+TEST(PostHoc, EmptyInput) {
+  EXPECT_TRUE(infer_subnets_posthoc({}).empty());
+}
+
+}  // namespace
+}  // namespace tn::core

@@ -1,0 +1,70 @@
+#include "eval/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tn::eval {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+TEST(Campaign, CollectsAndDeduplicates) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  // Two targets behind the same path: subnets must appear once each.
+  const std::vector<net::Ipv4Addr> targets = {f.pivot4, f.pivot3,
+                                              ip("10.0.4.2")};
+  const VantageObservations obs =
+      run_campaign(net, f.vantage, "V", targets, {});
+  std::set<net::Prefix> prefixes = obs.prefixes();
+  EXPECT_EQ(prefixes.size(), obs.subnets.size());
+  EXPECT_TRUE(prefixes.contains(pfx("10.0.1.0/31")));
+  EXPECT_TRUE(prefixes.contains(pfx("192.168.1.0/29")));
+}
+
+TEST(Campaign, SkipsCoveredTargets) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  // pivot3 lies inside the subnet explored while tracing to pivot4.
+  const std::vector<net::Ipv4Addr> targets = {f.pivot4, f.pivot3, f.pivot6};
+  CampaignConfig config;
+  config.skip_covered_targets = true;
+  const VantageObservations obs = run_campaign(net, f.vantage, "V", targets, config);
+  EXPECT_EQ(obs.targets_traced, 1u);
+  EXPECT_EQ(obs.targets_covered, 2u);
+
+  sim::Network net2(f.topo);
+  config.skip_covered_targets = false;
+  const VantageObservations all = run_campaign(net2, f.vantage, "V", targets, config);
+  EXPECT_EQ(all.targets_traced, 3u);
+  // Same subnets either way.
+  EXPECT_EQ(obs.prefixes(), all.prefixes());
+}
+
+TEST(Campaign, CountsSubnetizedAndUnsubnetizedAddresses) {
+  test::Fig3Topology f;
+  // Make pivot4's neighbors dark so it cannot grow a subnet when probed as
+  // part of the far-LAN trace... instead: isolate via a stub-only address.
+  sim::Network net(f.topo);
+  const VantageObservations obs =
+      run_campaign(net, f.vantage, "V", {f.pivot4}, {});
+  EXPECT_GE(obs.subnetized_addrs.size(), 6u);  // path links + LAN members
+  EXPECT_TRUE(obs.subnetized_addrs.contains(f.contra));
+  // Nothing ended up un-subnetized on this clean topology.
+  EXPECT_TRUE(obs.unsubnetized.empty());
+}
+
+TEST(Campaign, TargetsRespondingTracksReachability) {
+  test::Fig3Topology f;
+  f.topo.subnet_mut(f.far_lan).firewalled = true;
+  sim::Network net(f.topo);
+  const VantageObservations obs = run_campaign(
+      net, f.vantage, "V", {f.pivot4, ip("10.0.4.2")}, {});
+  EXPECT_EQ(obs.targets_traced, 2u);
+  EXPECT_EQ(obs.targets_responding, 1u);  // the firewalled one never answers
+}
+
+}  // namespace
+}  // namespace tn::eval

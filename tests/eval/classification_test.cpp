@@ -1,0 +1,155 @@
+#include "eval/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "probe/sim_engine.h"
+#include "testutil.h"
+
+namespace tn::eval {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+// A tiny always-silent engine for audits in purely structural tests.
+class SilentEngine final : public probe::ProbeEngine {
+  net::ProbeReply do_probe(const net::Probe&) override {
+    return net::ProbeReply::none();
+  }
+};
+
+// An engine that answers alive for a fixed set of addresses.
+class TableEngine final : public probe::ProbeEngine {
+ public:
+  explicit TableEngine(std::set<net::Ipv4Addr> alive) : alive_(std::move(alive)) {}
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    if (alive_.contains(request.target))
+      return {net::ResponseType::kEchoReply, request.target};
+    return net::ProbeReply::none();
+  }
+  std::set<net::Ipv4Addr> alive_;
+};
+
+topo::GroundTruthSubnet make_truth(std::string_view prefix,
+                                   std::initializer_list<std::string_view> addrs) {
+  topo::GroundTruthSubnet truth;
+  truth.prefix = pfx(prefix);
+  for (const auto addr : addrs) truth.assigned.push_back(ip(addr));
+  return truth;
+}
+
+core::ObservedSubnet make_observed(std::string_view prefix,
+                                   std::initializer_list<std::string_view> members) {
+  core::ObservedSubnet subnet;
+  subnet.prefix = pfx(prefix);
+  for (const auto member : members) subnet.members.push_back(ip(member));
+  if (!subnet.members.empty()) subnet.pivot = subnet.members.front();
+  return subnet;
+}
+
+TEST(Classification, ExactMatch) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"})};
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kExact);
+  EXPECT_EQ(result.total(result.exact), 1);
+  EXPECT_DOUBLE_EQ(result.exact_rate(), 1.0);
+}
+
+TEST(Classification, MissingAttributedByAudit) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}));
+  registry.add(make_truth("10.0.1.0/30", {"10.0.1.1", "10.0.1.2"}));
+
+  // First subnet's addresses respond to the audit -> heuristic miss;
+  // second is dark -> unresponsive miss.
+  TableEngine audit({ip("10.0.0.1"), ip("10.0.0.2")});
+  const Classification result = classify(registry, {}, audit);
+  EXPECT_EQ(result.total(result.miss_heuristic), 1);
+  EXPECT_EQ(result.total(result.miss_unresponsive), 1);
+  EXPECT_FALSE(result.verdicts[0].caused_by_unresponsiveness);
+  EXPECT_TRUE(result.verdicts[1].caused_by_unresponsiveness);
+}
+
+TEST(Classification, UnderestimatedSplitByAudit) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/28", {"10.0.0.1", "10.0.0.2", "10.0.0.9"}));
+  registry.add(make_truth("10.0.1.0/28", {"10.0.1.1", "10.0.1.2", "10.0.1.9"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}),
+      make_observed("10.0.1.0/30", {"10.0.1.1", "10.0.1.2"})};
+  // All of subnet 1 responds (heuristic under-estimate); 10.0.1.9 is dark
+  // (partial unresponsiveness).
+  TableEngine audit({ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.0.9"),
+                     ip("10.0.1.1"), ip("10.0.1.2")});
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_EQ(result.total(result.undes_heuristic), 1);
+  EXPECT_EQ(result.total(result.undes_unresponsive), 1);
+}
+
+TEST(Classification, OverestimatedWhenCoveredByLargerObservation) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/29", {"10.0.0.1", "10.0.0.2", "10.0.0.6"})};
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kOverestimated);
+}
+
+TEST(Classification, MergedWhenTwoTruthsShareOneObservation) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}));
+  registry.add(make_truth("10.0.0.4/30", {"10.0.0.5", "10.0.0.6"}));
+  const std::vector<core::ObservedSubnet> observed = {make_observed(
+      "10.0.0.0/29", {"10.0.0.1", "10.0.0.2", "10.0.0.5", "10.0.0.6"})};
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kMerged);
+  EXPECT_EQ(result.verdicts[1].match, MatchClass::kMerged);
+  EXPECT_EQ(result.total(result.merged), 2);
+}
+
+TEST(Classification, SplitWhenTwoPiecesObserved) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/28", {"10.0.0.1", "10.0.0.9"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}),
+      make_observed("10.0.0.8/30", {"10.0.0.9", "10.0.0.10"})};
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kSplit);
+  EXPECT_EQ(result.verdicts[0].collected_prefix_lengths.size(), 2u);
+}
+
+TEST(Classification, Slash32ObservationsDoNotCount) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.1/32", {"10.0.0.1"})};
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kMissing);
+}
+
+TEST(Classification, ExactRateArithmetic) {
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1"}));
+  registry.add(make_truth("10.0.1.0/30", {"10.0.1.1"}));
+  registry.add(make_truth("10.0.2.0/30", {"10.0.2.1"}));
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"})};
+  SilentEngine audit;  // the two missing subnets audit as unresponsive
+  const Classification result = classify(registry, observed, audit);
+  EXPECT_NEAR(result.exact_rate(), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.exact_rate_excluding_unresponsive(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tn::eval

@@ -1,0 +1,81 @@
+#include "eval/crossval.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tn::eval {
+namespace {
+
+using test::pfx;
+
+VantageObservations make_observations(std::string name,
+                                      std::initializer_list<std::string_view> prefixes) {
+  VantageObservations obs;
+  obs.vantage = std::move(name);
+  for (const auto prefix : prefixes) {
+    core::ObservedSubnet subnet;
+    subnet.prefix = pfx(prefix);
+    obs.subnets.push_back(subnet);
+  }
+  return obs;
+}
+
+TEST(CrossVal, VennRegions) {
+  const std::vector<VantageObservations> vantages = {
+      make_observations("A", {"10.0.0.0/30", "10.0.1.0/30", "10.0.2.0/30"}),
+      make_observations("B", {"10.0.0.0/30", "10.0.1.0/30"}),
+      make_observations("C", {"10.0.0.0/30", "10.0.3.0/30"}),
+  };
+  const CrossValidation cv = cross_validate(vantages);
+  EXPECT_EQ(cv.regions.at({"A", "B", "C"}), 1u);  // 10.0.0.0/30
+  EXPECT_EQ(cv.regions.at({"A", "B"}), 1u);       // 10.0.1.0/30
+  EXPECT_EQ(cv.regions.at({"A"}), 1u);            // 10.0.2.0/30
+  EXPECT_EQ(cv.regions.at({"C"}), 1u);            // 10.0.3.0/30
+  EXPECT_FALSE(cv.regions.contains({"B"}));
+}
+
+TEST(CrossVal, PerVantageRates) {
+  const std::vector<VantageObservations> vantages = {
+      make_observations("A", {"10.0.0.0/30", "10.0.1.0/30", "10.0.2.0/30",
+                              "10.0.4.0/30"}),
+      make_observations("B", {"10.0.0.0/30", "10.0.1.0/30"}),
+      make_observations("C", {"10.0.0.0/30"}),
+  };
+  const CrossValidation cv = cross_validate(vantages);
+  const auto& a = cv.per_vantage[0];
+  EXPECT_EQ(a.observed, 4u);
+  EXPECT_EQ(a.seen_by_all, 1u);
+  EXPECT_EQ(a.seen_by_another, 2u);
+  EXPECT_DOUBLE_EQ(a.all_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.another_rate(), 0.5);
+  const auto& c = cv.per_vantage[2];
+  EXPECT_DOUBLE_EQ(c.all_rate(), 1.0);
+}
+
+TEST(CrossVal, DifferentPrefixLengthsDoNotMatch) {
+  // A /29 observation and a /30 observation of "the same" subnet disagree —
+  // the exact-match semantics of Figure 6.
+  const std::vector<VantageObservations> vantages = {
+      make_observations("A", {"10.0.0.0/29"}),
+      make_observations("B", {"10.0.0.0/30"}),
+  };
+  const CrossValidation cv = cross_validate(vantages);
+  EXPECT_EQ(cv.regions.at({"A"}), 1u);
+  EXPECT_EQ(cv.regions.at({"B"}), 1u);
+  EXPECT_FALSE(cv.regions.contains({"A", "B"}));
+}
+
+TEST(CrossVal, FilterRestrictsToBlock) {
+  const std::vector<VantageObservations> vantages = {
+      make_observations("A", {"10.0.0.0/30", "192.168.0.0/30"}),
+      make_observations("B", {"10.0.0.0/30", "192.168.0.0/30"}),
+  };
+  const CrossValidation cv =
+      cross_validate(vantages, pfx("10.0.0.0/8"));
+  EXPECT_EQ(cv.per_vantage[0].observed, 1u);
+  EXPECT_EQ(cv.regions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tn::eval

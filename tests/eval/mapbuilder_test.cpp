@@ -1,0 +1,107 @@
+#include "eval/mapbuilder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "probe/sim_engine.h"
+#include "testutil.h"
+#include "topo/reference.h"
+
+namespace tn::eval {
+namespace {
+
+using test::ip;
+
+std::vector<core::SessionResult> run_sessions(
+    sim::Network& net, sim::NodeId vantage,
+    std::initializer_list<net::Ipv4Addr> targets) {
+  probe::SimProbeEngine engine(net, vantage);
+  core::TracenetSession session(engine);
+  std::vector<core::SessionResult> out;
+  for (const auto target : targets) out.push_back(session.run(target));
+  return out;
+}
+
+TEST(MapBuilder, BuildsRoutersSubnetsAndEdges) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  const auto sessions =
+      run_sessions(net, f.vantage, {f.pivot4, ip("10.0.4.2")});
+  const RouterLevelMap map = build_router_map(sessions);
+
+  EXPECT_FALSE(map.routers.empty());
+  EXPECT_FALSE(map.subnets.empty());
+  EXPECT_FALSE(map.edges.empty());
+  // Each edge references valid indices.
+  for (const auto& [r, s] : map.edges) {
+    ASSERT_LT(r, map.routers.size());
+    ASSERT_LT(s, map.subnets.size());
+  }
+  // Subnets are unique by prefix.
+  std::set<net::Prefix> prefixes;
+  for (const auto& subnet : map.subnets)
+    EXPECT_TRUE(prefixes.insert(subnet.prefix).second);
+}
+
+TEST(MapBuilder, AliasSetsAreAccurate) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  const auto sessions =
+      run_sessions(net, f.vantage, {f.pivot4, ip("10.0.4.2"), f.close_fringe});
+  const RouterLevelMap map = build_router_map(sessions);
+  const MapAccuracy accuracy = evaluate_map(map, f.topo);
+
+  EXPECT_GT(accuracy.alias_pairs_inferred, 0u);
+  EXPECT_DOUBLE_EQ(accuracy.alias_precision(), 1.0);
+  EXPECT_GT(accuracy.alias_recall(), 0.0);
+  EXPECT_GT(accuracy.interface_coverage(), 0.5);
+}
+
+TEST(MapBuilder, MultiAccessLanConnectsItsRouters) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  const auto sessions = run_sessions(net, f.vantage, {f.pivot4});
+  const RouterLevelMap map = build_router_map(sessions);
+
+  // Find the explored LAN and count distinct routers attached to it.
+  std::size_t lan_index = map.subnets.size();
+  for (std::size_t s = 0; s < map.subnets.size(); ++s)
+    if (map.subnets[s].prefix.contains(f.pivot4)) lan_index = s;
+  ASSERT_LT(lan_index, map.subnets.size());
+  std::size_t attached = 0;
+  for (const auto& [r, s] : map.edges) attached += s == lan_index;
+  EXPECT_EQ(attached, 4u);  // R2 (contra) + R3 + R4 + R6
+}
+
+TEST(MapBuilder, DotExportIsWellFormed) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  const auto sessions = run_sessions(net, f.vantage, {f.pivot4});
+  const RouterLevelMap map = build_router_map(sessions);
+  const std::string dot = map.to_dot();
+  EXPECT_NE(dot.find("graph tracenet_map {"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(MapBuilder, ScalesToReferenceTopology) {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+  sim::Network net(ref.topo);
+  probe::SimProbeEngine engine(net, ref.vantage);
+  core::TracenetSession session(engine);
+  std::vector<core::SessionResult> sessions;
+  for (std::size_t i = 0; i < 40; ++i)
+    sessions.push_back(session.run(ref.targets[i * 4 % ref.targets.size()]));
+
+  const RouterLevelMap map = build_router_map(sessions);
+  const MapAccuracy accuracy = evaluate_map(map, ref.topo);
+  EXPECT_GT(map.routers.size(), 20u);
+  EXPECT_GT(map.subnets.size(), 20u);
+  EXPECT_DOUBLE_EQ(accuracy.alias_precision(), 1.0);
+  EXPECT_GT(accuracy.alias_recall(), 0.3);
+}
+
+}  // namespace
+}  // namespace tn::eval

@@ -1,0 +1,116 @@
+#include "eval/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testutil.h"
+
+namespace tn::eval {
+namespace {
+
+using test::pfx;
+
+// Builds a verdict owning its truth via a static pool (tests only).
+struct VerdictBuilder {
+  std::vector<std::unique_ptr<topo::GroundTruthSubnet>> pool;
+  Classification classification;
+
+  void add(std::string_view original, MatchClass match,
+           std::vector<int> collected = {}, bool unresponsive = false) {
+    auto truth = std::make_unique<topo::GroundTruthSubnet>();
+    truth->prefix = pfx(original);
+    SubnetVerdict verdict;
+    verdict.truth = truth.get();
+    verdict.match = match;
+    verdict.collected_prefix_lengths = std::move(collected);
+    verdict.caused_by_unresponsiveness = unresponsive;
+    classification.verdicts.push_back(std::move(verdict));
+    pool.push_back(std::move(truth));
+  }
+};
+
+TEST(Similarity, AllExactIsOne) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/30", MatchClass::kExact, {30});
+  b.add("10.0.1.0/29", MatchClass::kExact, {29});
+  EXPECT_DOUBLE_EQ(prefix_similarity(b.classification), 1.0);
+  EXPECT_DOUBLE_EQ(size_similarity(b.classification), 1.0);
+}
+
+TEST(Similarity, PrefixDistanceFactors) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/28", MatchClass::kUnderestimated, {30});
+  const auto& v = b.classification.verdicts[0];
+  EXPECT_DOUBLE_EQ(prefix_distance_factor(v, 31, 24), 2.0);  // |28-30|
+  // Size: |2^(32-28) - 2^(32-30)| = |16 - 4| = 12.
+  EXPECT_DOUBLE_EQ(size_distance_factor(v, 31, 24), 12.0);
+}
+
+TEST(Similarity, MissingUsesWorstBoundary) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/29", MatchClass::kMissing);
+  const auto& v = b.classification.verdicts[0];
+  // max(|29-31|, |29-24|) = 5
+  EXPECT_DOUBLE_EQ(prefix_distance_factor(v, 31, 24), 5.0);
+  // max(size(24)-size(29), size(29)-size(31)) = max(256-8, 8-2) = 248
+  EXPECT_DOUBLE_EQ(size_distance_factor(v, 31, 24), 248.0);
+}
+
+TEST(Similarity, SplitUsesMostSpecificPiece) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/28", MatchClass::kSplit, {30, 31});
+  EXPECT_DOUBLE_EQ(prefix_distance_factor(b.classification.verdicts[0], 31, 24),
+                   3.0);  // |28 - 31|
+}
+
+TEST(Similarity, UnderestimatesLowerTheScore) {
+  VerdictBuilder exact;
+  exact.add("10.0.0.0/29", MatchClass::kExact, {29});
+  exact.add("10.0.1.0/29", MatchClass::kExact, {29});
+  VerdictBuilder under;
+  under.add("10.0.0.0/29", MatchClass::kExact, {29});
+  under.add("10.0.1.0/29", MatchClass::kUnderestimated, {31});
+  EXPECT_GT(prefix_similarity(exact.classification),
+            prefix_similarity(under.classification));
+}
+
+TEST(Similarity, ExclusionFlagDropsUnresponsiveMisses) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/29", MatchClass::kExact, {29});
+  b.add("10.0.1.0/30", MatchClass::kExact, {30});
+  b.add("10.0.2.0/30", MatchClass::kMissing, {}, /*unresponsive=*/true);
+  const double with_misses = prefix_similarity(b.classification, false);
+  const double without = prefix_similarity(b.classification, true);
+  EXPECT_LT(with_misses, 1.0);
+  EXPECT_DOUBLE_EQ(without, 1.0);
+  // Heuristic misses are never dropped.
+  VerdictBuilder h;
+  h.add("10.0.0.0/29", MatchClass::kExact, {29});
+  h.add("10.0.1.0/30", MatchClass::kExact, {30});
+  h.add("10.0.2.0/30", MatchClass::kMissing, {}, /*unresponsive=*/false);
+  EXPECT_LT(prefix_similarity(h.classification, true), 1.0);
+}
+
+TEST(Similarity, MinkowskiOrderOneMatchesSum) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/28", MatchClass::kUnderestimated, {30});
+  b.add("10.0.1.0/28", MatchClass::kUnderestimated, {29});
+  const double d1 = minkowski_distance(b.classification, 31, 24, 1.0, false);
+  EXPECT_DOUBLE_EQ(d1, 2.0 + 1.0);
+  // Order 2: sqrt(4 + 1).
+  const double d2 = minkowski_distance(b.classification, 31, 24, 2.0, false);
+  EXPECT_NEAR(d2, std::sqrt(5.0), 1e-12);
+}
+
+TEST(Similarity, BoundsComeFromOriginalAndCollected) {
+  VerdictBuilder b;
+  b.add("10.0.0.0/28", MatchClass::kUnderestimated, {31});
+  b.add("10.0.1.0/26", MatchClass::kExact, {26});
+  const auto [pu, pl] = prefix_bounds(b.classification);
+  EXPECT_EQ(pu, 31);  // from the collected /31
+  EXPECT_EQ(pl, 26);  // from the original /26
+}
+
+}  // namespace
+}  // namespace tn::eval

@@ -1,0 +1,53 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tn::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // RFC 1071 section 3 example bytes: 00 01 f2 03 f4 f5 f6 f7.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001+0xf203+0xf4f5+0xf6f7 = 0x2ddf0 -> fold: 0xddf0+2 = 0xddf2
+  // checksum = ~0xddf2 = 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> data = {0xAB};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xAB00 & 0xFFFF));
+}
+
+TEST(InternetChecksum, EmptyDataIsAllOnesComplement) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(InternetChecksum, ValidatedMessageSumsToZero) {
+  // Inserting the checksum into the message makes re-checksumming yield 0.
+  std::vector<std::uint8_t> msg = {0x08, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x01};
+  const std::uint16_t sum = internet_checksum(msg);
+  store_be16(&msg[2], sum);
+  EXPECT_EQ(internet_checksum(msg), 0);
+}
+
+TEST(BigEndianHelpers, RoundTrip16) {
+  std::uint8_t buf[2];
+  store_be16(buf, 0xBEEF);
+  EXPECT_EQ(buf[0], 0xBE);
+  EXPECT_EQ(buf[1], 0xEF);
+  EXPECT_EQ(load_be16(buf), 0xBEEF);
+}
+
+TEST(BigEndianHelpers, RoundTrip32) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0xC0A80102u);
+  EXPECT_EQ(buf[0], 0xC0);
+  EXPECT_EQ(buf[3], 0x02);
+  EXPECT_EQ(load_be32(buf), 0xC0A80102u);
+}
+
+}  // namespace
+}  // namespace tn::net

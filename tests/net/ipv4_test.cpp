@@ -1,0 +1,77 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::net {
+namespace {
+
+TEST(Ipv4Addr, RoundTripsToString) {
+  const Ipv4Addr addr(192, 168, 1, 42);
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+  EXPECT_EQ(Ipv4Addr::parse("192.168.1.42"), addr);
+}
+
+TEST(Ipv4Addr, ParseEdgeAddresses) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0"), Ipv4Addr(0));
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255"), Ipv4Addr(0xFFFFFFFFu));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4x"));
+  EXPECT_FALSE(Ipv4Addr::parse("01.2.3.4"));  // leading zero (octal ambiguity)
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse(".1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3."));
+}
+
+TEST(Ipv4Addr, Mate31FlipsLastBit) {
+  const Ipv4Addr even(10, 0, 0, 4);
+  const Ipv4Addr odd(10, 0, 0, 5);
+  EXPECT_EQ(even.mate31(), odd);
+  EXPECT_EQ(odd.mate31(), even);
+  // mate-31 is an involution
+  EXPECT_EQ(even.mate31().mate31(), even);
+}
+
+TEST(Ipv4Addr, Mate30PairsUsableHosts) {
+  // In a classic /30 (x.0 network, x.3 broadcast) the usable hosts are
+  // x.1 and x.2; mate30 maps them onto each other.
+  const Ipv4Addr one(10, 0, 0, 1);
+  const Ipv4Addr two(10, 0, 0, 2);
+  EXPECT_EQ(one.mate30(), two);
+  EXPECT_EQ(two.mate30(), one);
+  EXPECT_EQ(one.mate30().mate30(), one);
+}
+
+TEST(Ipv4Addr, SharesPrefix) {
+  const Ipv4Addr a(10, 1, 2, 3);
+  const Ipv4Addr b(10, 1, 2, 200);
+  EXPECT_TRUE(a.shares_prefix(b, 24));
+  EXPECT_FALSE(a.shares_prefix(b, 25));
+  EXPECT_TRUE(a.shares_prefix(b, 0));
+  EXPECT_TRUE(a.shares_prefix(a, 32));
+}
+
+TEST(Ipv4Addr, MatesShareExpectedPrefixes) {
+  const Ipv4Addr a(172, 16, 5, 8);
+  EXPECT_TRUE(a.shares_prefix(a.mate31(), 31));
+  EXPECT_TRUE(a.shares_prefix(a.mate30(), 30));
+  EXPECT_FALSE(a.shares_prefix(a.mate30(), 31));
+}
+
+TEST(Ipv4Addr, OrderingFollowsNumericValue) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Ipv4Addr, UnsetSentinel) {
+  EXPECT_TRUE(Ipv4Addr().is_unset());
+  EXPECT_FALSE(Ipv4Addr(1).is_unset());
+}
+
+}  // namespace
+}  // namespace tn::net

@@ -1,0 +1,56 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::net {
+namespace {
+
+TEST(Probe, DirectnessByTtl) {
+  Probe p;
+  p.ttl = kDirectProbeTtl;
+  EXPECT_TRUE(p.is_direct());
+  p.ttl = 5;
+  EXPECT_FALSE(p.is_direct());
+}
+
+TEST(IsAliveReply, IcmpExpectsEchoReply) {
+  EXPECT_TRUE(is_alive_reply(ProbeProtocol::kIcmp, ResponseType::kEchoReply));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kIcmp, ResponseType::kPortUnreachable));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kIcmp, ResponseType::kTtlExceeded));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kIcmp, ResponseType::kNone));
+}
+
+TEST(IsAliveReply, UdpExpectsPortUnreachable) {
+  EXPECT_TRUE(is_alive_reply(ProbeProtocol::kUdp, ResponseType::kPortUnreachable));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kUdp, ResponseType::kEchoReply));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kUdp, ResponseType::kHostUnreachable));
+}
+
+TEST(IsAliveReply, TcpExpectsReset) {
+  EXPECT_TRUE(is_alive_reply(ProbeProtocol::kTcp, ResponseType::kTcpReset));
+  EXPECT_FALSE(is_alive_reply(ProbeProtocol::kTcp, ResponseType::kEchoReply));
+}
+
+TEST(ProbeReply, NoneFactoryAndPredicates) {
+  const auto none = ProbeReply::none();
+  EXPECT_TRUE(none.is_none());
+  EXPECT_FALSE(none.is_ttl_exceeded());
+  EXPECT_EQ(none.to_string(), "<none>");
+}
+
+TEST(ProbeReply, FormatsResponderAndType) {
+  const ProbeReply reply{ResponseType::kTtlExceeded, Ipv4Addr(10, 0, 0, 1)};
+  EXPECT_TRUE(reply.is_ttl_exceeded());
+  EXPECT_EQ(reply.to_string(), "<10.0.0.1, TTL_EXCEEDED>");
+}
+
+TEST(Names, ProtocolAndResponseStrings) {
+  EXPECT_EQ(to_string(ProbeProtocol::kIcmp), "ICMP");
+  EXPECT_EQ(to_string(ProbeProtocol::kUdp), "UDP");
+  EXPECT_EQ(to_string(ProbeProtocol::kTcp), "TCP");
+  EXPECT_EQ(to_string(ResponseType::kEchoReply), "ECHO_REPLY");
+  EXPECT_EQ(to_string(ResponseType::kNone), "NONE");
+}
+
+}  // namespace
+}  // namespace tn::net

@@ -1,0 +1,155 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+
+namespace tn::net {
+namespace {
+
+TEST(Wire, EchoRequestHasValidChecksumAndFields) {
+  const auto msg = build_icmp_echo_request(0x1234, 7);
+  ASSERT_GE(msg.size(), kIcmpEchoHeaderLen);
+  EXPECT_EQ(msg[0], kIcmpEchoRequest);
+  EXPECT_EQ(msg[1], 0);
+  EXPECT_EQ(load_be16(&msg[4]), 0x1234);
+  EXPECT_EQ(load_be16(&msg[6]), 7);
+  EXPECT_EQ(internet_checksum(msg), 0);  // stored checksum validates
+}
+
+TEST(Wire, Ipv4HeaderRoundTrip) {
+  const Ipv4Addr src(10, 0, 0, 1), dst(8, 8, 8, 8);
+  const auto hdr = build_ipv4_header(src, dst, 3, 1, 28, 0xBEEF);
+  std::size_t ihl = 0;
+  const auto parsed = parse_ipv4_header(hdr, ihl);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(ihl, kIpv4HeaderLen);
+  EXPECT_EQ(parsed->source, src);
+  EXPECT_EQ(parsed->destination, dst);
+  EXPECT_EQ(parsed->ttl, 3);
+  EXPECT_EQ(parsed->protocol, 1);
+  EXPECT_EQ(parsed->total_length, 28);
+  EXPECT_EQ(parsed->identification, 0xBEEF);
+}
+
+TEST(Wire, Ipv4HeaderRejectsCorruption) {
+  auto hdr = build_ipv4_header(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8), 64,
+                               1, 28, 1);
+  std::size_t ihl = 0;
+  hdr[8] ^= 0xFF;  // flip TTL without fixing checksum
+  EXPECT_FALSE(parse_ipv4_header(hdr, ihl));
+}
+
+TEST(Wire, Ipv4HeaderRejectsTruncationAndVersion) {
+  auto hdr = build_ipv4_header(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8), 64,
+                               1, 28, 1);
+  std::size_t ihl = 0;
+  EXPECT_FALSE(parse_ipv4_header(std::span(hdr).first(10), ihl));
+  hdr[0] = 0x65;  // version 6
+  EXPECT_FALSE(parse_ipv4_header(hdr, ihl));
+}
+
+// Builds a full on-wire datagram as a router would emit it.
+std::vector<std::uint8_t> make_datagram(Ipv4Addr from, Ipv4Addr to,
+                                        std::vector<std::uint8_t> icmp) {
+  auto ip = build_ipv4_header(from, to, 60, 1,
+                              static_cast<std::uint16_t>(kIpv4HeaderLen + icmp.size()),
+                              42);
+  ip.insert(ip.end(), icmp.begin(), icmp.end());
+  return ip;
+}
+
+TEST(Wire, DecodesEchoReply) {
+  // An echo reply mirrors the request with type 0.
+  auto icmp = build_icmp_echo_request(0xAAAA, 3);
+  icmp[0] = kIcmpEchoReply;
+  store_be16(&icmp[2], 0);
+  store_be16(&icmp[2], internet_checksum(icmp));
+  const auto dg = make_datagram(Ipv4Addr(9, 9, 9, 9), Ipv4Addr(10, 0, 0, 1), icmp);
+
+  const auto decoded = decode_icmp_datagram(dg);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, ResponseType::kEchoReply);
+  EXPECT_EQ(decoded->responder, Ipv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(decoded->probe_id, 0xAAAA);
+  EXPECT_EQ(decoded->probe_seq, 3);
+}
+
+// Builds a Time Exceeded / Unreachable carrying our original probe as quote.
+std::vector<std::uint8_t> make_error(std::uint8_t type, std::uint8_t code,
+                                     Ipv4Addr reporter, Ipv4Addr probe_target,
+                                     std::uint16_t id, std::uint16_t seq) {
+  const auto probe_icmp = build_icmp_echo_request(id, seq, 0);
+  const auto probe_ip = build_ipv4_header(
+      Ipv4Addr(10, 0, 0, 1), probe_target, 1, 1,
+      static_cast<std::uint16_t>(kIpv4HeaderLen + probe_icmp.size()), 7);
+
+  std::vector<std::uint8_t> icmp(kIcmpEchoHeaderLen, 0);
+  icmp[0] = type;
+  icmp[1] = code;
+  icmp.insert(icmp.end(), probe_ip.begin(), probe_ip.end());
+  icmp.insert(icmp.end(), probe_icmp.begin(), probe_icmp.end());
+  store_be16(&icmp[2], internet_checksum(icmp));
+  return make_datagram(reporter, Ipv4Addr(10, 0, 0, 1), icmp);
+}
+
+TEST(Wire, DecodesTimeExceededWithQuotedProbe) {
+  const auto dg = make_error(kIcmpTimeExceeded, 0, Ipv4Addr(172, 16, 0, 1),
+                             Ipv4Addr(8, 8, 8, 8), 0xBEEF, 12);
+  const auto decoded = decode_icmp_datagram(dg);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, ResponseType::kTtlExceeded);
+  EXPECT_EQ(decoded->responder, Ipv4Addr(172, 16, 0, 1));
+  EXPECT_EQ(decoded->probe_id, 0xBEEF);
+  EXPECT_EQ(decoded->probe_seq, 12);
+  EXPECT_EQ(decoded->probe_target, Ipv4Addr(8, 8, 8, 8));
+}
+
+TEST(Wire, DecodesUnreachableCodes) {
+  const auto port = make_error(kIcmpDestUnreachable, kUnreachCodePort,
+                               Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1, 1);
+  const auto host = make_error(kIcmpDestUnreachable, kUnreachCodeHost,
+                               Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1, 1);
+  EXPECT_EQ(decode_icmp_datagram(port)->type, ResponseType::kPortUnreachable);
+  EXPECT_EQ(decode_icmp_datagram(host)->type, ResponseType::kHostUnreachable);
+}
+
+TEST(Wire, IgnoresUninterestingIcmpTypes) {
+  auto icmp = std::vector<std::uint8_t>(kIcmpEchoHeaderLen, 0);
+  icmp[0] = 13;  // timestamp request
+  store_be16(&icmp[2], internet_checksum(icmp));
+  const auto dg = make_datagram(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), icmp);
+  EXPECT_FALSE(decode_icmp_datagram(dg));
+}
+
+TEST(Wire, RejectsCorruptIcmpChecksum) {
+  auto dg = make_error(kIcmpTimeExceeded, 0, Ipv4Addr(1, 1, 1, 1),
+                       Ipv4Addr(2, 2, 2, 2), 5, 6);
+  dg.back() ^= 0x01;
+  EXPECT_FALSE(decode_icmp_datagram(dg));
+}
+
+TEST(Wire, ToleratesTruncatedQuote) {
+  // Some routers quote fewer than 28 bytes; the reply should still decode,
+  // just without probe identification.
+  auto dg = make_error(kIcmpTimeExceeded, 0, Ipv4Addr(1, 1, 1, 1),
+                       Ipv4Addr(2, 2, 2, 2), 5, 6);
+  // Truncate to ICMP header + first 12 bytes of quote and fix checksums.
+  std::size_t ihl = 0;
+  ASSERT_TRUE(parse_ipv4_header(dg, ihl));
+  dg.resize(ihl + kIcmpEchoHeaderLen + 12);
+  store_be16(&dg[ihl + 2], 0);
+  const std::uint16_t ck = internet_checksum(std::span(dg).subspan(ihl));
+  store_be16(&dg[ihl + 2], ck);
+  store_be16(&dg[2], static_cast<std::uint16_t>(dg.size()));
+  store_be16(&dg[10], 0);
+  store_be16(&dg[10], internet_checksum(std::span(dg).first(ihl)));
+
+  const auto decoded = decode_icmp_datagram(dg);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, ResponseType::kTtlExceeded);
+  EXPECT_EQ(decoded->probe_id, 0);  // quote unusable, but no crash
+}
+
+}  // namespace
+}  // namespace tn::net

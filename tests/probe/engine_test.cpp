@@ -1,0 +1,122 @@
+#include "probe/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "probe/cache.h"
+#include "probe/retry.h"
+#include "probe/sim_engine.h"
+#include "testutil.h"
+
+namespace tn::probe {
+namespace {
+
+using net::ProbeProtocol;
+using net::ResponseType;
+using test::ip;
+
+class ProbeEngineTest : public ::testing::Test {
+ protected:
+  test::Fig3Topology f;
+  sim::Network net{f.topo};
+};
+
+TEST_F(ProbeEngineTest, SimEngineDirectProbe) {
+  SimProbeEngine engine(net, f.vantage);
+  const auto reply = engine.direct(f.pivot3);
+  EXPECT_EQ(reply.type, ResponseType::kEchoReply);
+  EXPECT_EQ(engine.probes_issued(), 1u);
+}
+
+TEST_F(ProbeEngineTest, SimEngineIndirectProbe) {
+  SimProbeEngine engine(net, f.vantage);
+  const auto reply = engine.indirect(f.pivot3, 2);
+  EXPECT_EQ(reply.type, ResponseType::kTtlExceeded);
+  EXPECT_EQ(reply.responder, ip("10.0.1.1"));
+}
+
+TEST_F(ProbeEngineTest, CacheAvoidsDuplicateWireProbes) {
+  SimProbeEngine wire(net, f.vantage);
+  CachingProbeEngine cached(wire);
+  const auto first = cached.direct(f.pivot3);
+  const auto second = cached.direct(f.pivot3);
+  EXPECT_EQ(first.type, second.type);
+  EXPECT_EQ(first.responder, second.responder);
+  EXPECT_EQ(wire.probes_issued(), 1u);
+  EXPECT_EQ(cached.probes_issued(), 2u);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+}
+
+TEST_F(ProbeEngineTest, CacheKeyIncludesTtlAndProtocol) {
+  SimProbeEngine wire(net, f.vantage);
+  CachingProbeEngine cached(wire);
+  cached.indirect(f.pivot3, 2);
+  cached.indirect(f.pivot3, 3);             // different ttl -> miss
+  cached.direct(f.pivot3);                  // different ttl -> miss
+  cached.direct(f.pivot3, ProbeProtocol::kUdp);  // different protocol -> miss
+  EXPECT_EQ(cached.hits(), 0u);
+  EXPECT_EQ(wire.probes_issued(), 4u);
+}
+
+TEST_F(ProbeEngineTest, CacheKeyIncludesFlowId) {
+  // ECMP can answer the same (target, ttl) differently per flow; caching
+  // across flows would blind multipath discovery.
+  SimProbeEngine wire(net, f.vantage);
+  CachingProbeEngine cached(wire);
+  cached.indirect(f.pivot3, 2, ProbeProtocol::kIcmp, /*flow_id=*/1);
+  cached.indirect(f.pivot3, 2, ProbeProtocol::kIcmp, /*flow_id=*/2);
+  EXPECT_EQ(cached.hits(), 0u);
+  cached.indirect(f.pivot3, 2, ProbeProtocol::kIcmp, /*flow_id=*/1);
+  EXPECT_EQ(cached.hits(), 1u);
+}
+
+TEST_F(ProbeEngineTest, CacheClearForgets) {
+  SimProbeEngine wire(net, f.vantage);
+  CachingProbeEngine cached(wire);
+  cached.direct(f.pivot3);
+  cached.clear();
+  cached.direct(f.pivot3);
+  EXPECT_EQ(wire.probes_issued(), 2u);
+}
+
+TEST_F(ProbeEngineTest, RetryRepeatsOnlyOnSilence) {
+  SimProbeEngine wire(net, f.vantage);
+  RetryingProbeEngine retrying(wire, 3);
+  // Responsive target: no retries.
+  retrying.direct(f.pivot3);
+  EXPECT_EQ(wire.probes_issued(), 1u);
+  EXPECT_EQ(retrying.retries_used(), 0u);
+  // Silent target: full retry budget burned.
+  retrying.direct(ip("192.168.1.9"));
+  EXPECT_EQ(wire.probes_issued(), 4u);  // 1 + 3 attempts
+  EXPECT_EQ(retrying.retries_used(), 2u);
+}
+
+TEST_F(ProbeEngineTest, RetryRecoversRateLimitedReply) {
+  sim::NetworkConfig config;
+  config.inter_probe_gap_us = 20'000;  // 20 ms between probes
+  sim::Network limited_net(f.topo, config);
+  // 50/s sustained: a burst-exhausted bucket refills within one retry gap.
+  limited_net.set_rate_limiter(f.r3, sim::RateLimiter(50.0, 1.0));
+  SimProbeEngine wire(limited_net, f.vantage);
+  RetryingProbeEngine retrying(wire, 2);
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) answered += !retrying.direct(f.pivot3).is_none();
+  // Without retries roughly half the replies are dropped at this rate; with
+  // them nearly all succeed.
+  EXPECT_GE(answered, 18);
+}
+
+TEST_F(ProbeEngineTest, StackedDecorators) {
+  SimProbeEngine wire(net, f.vantage);
+  RetryingProbeEngine retrying(wire, 2);
+  CachingProbeEngine cached(retrying);
+  // A silent address costs the retry budget once, then caches the silence.
+  cached.direct(ip("192.168.1.9"));
+  cached.direct(ip("192.168.1.9"));
+  EXPECT_EQ(wire.probes_issued(), 2u);  // 2 attempts, once
+  EXPECT_EQ(cached.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace tn::probe

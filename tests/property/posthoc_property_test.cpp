@@ -1,0 +1,109 @@
+// Property sweeps for the offline inference baseline: whatever the input,
+// the output must partition the observed addresses into boundary-clean,
+// distance-coherent groups.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/posthoc.h"
+#include "util/rng.h"
+
+namespace tn::core {
+namespace {
+
+class PostHocProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<AddressObservation> random_observations(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<AddressObservation> out;
+  const int clusters = static_cast<int>(2 + rng.below(6));
+  for (int c = 0; c < clusters; ++c) {
+    // A random /27 region with a random live pattern and base distance.
+    const std::uint32_t base =
+        0x0A000000u | (static_cast<std::uint32_t>(rng.below(200)) << 8) |
+        (static_cast<std::uint32_t>(rng.below(8)) << 5);
+    const int base_distance = static_cast<int>(2 + rng.below(10));
+    const int count = static_cast<int>(2 + rng.below(12));
+    for (int i = 0; i < count; ++i) {
+      AddressObservation obs;
+      obs.addr = net::Ipv4Addr(base + static_cast<std::uint32_t>(rng.below(32)));
+      obs.distance = base_distance + static_cast<int>(rng.below(2));
+      out.push_back(obs);
+    }
+  }
+  return out;
+}
+
+TEST_P(PostHocProperty, OutputPartitionsTheInput) {
+  const auto input = random_observations(GetParam());
+  const auto subnets = infer_subnets_posthoc(input);
+
+  std::set<net::Ipv4Addr> input_addrs;
+  for (const auto& obs : input) input_addrs.insert(obs.addr);
+
+  std::set<net::Ipv4Addr> output_addrs;
+  for (const auto& subnet : subnets) {
+    for (const auto member : subnet.members) {
+      // Partition: no address appears in two subnets, none is invented.
+      EXPECT_TRUE(output_addrs.insert(member).second) << member.to_string();
+      EXPECT_TRUE(input_addrs.contains(member)) << member.to_string();
+    }
+  }
+  EXPECT_EQ(output_addrs, input_addrs);  // nothing dropped either
+}
+
+TEST_P(PostHocProperty, PrefixesCoverTheirMembersAndAreDisjoint) {
+  const auto subnets = infer_subnets_posthoc(random_observations(GetParam()));
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    for (const auto member : subnets[i].members)
+      EXPECT_TRUE(subnets[i].prefix.contains(member));
+    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+      EXPECT_FALSE(subnets[i].prefix.contains(subnets[j].prefix) &&
+                   subnets[i].members.size() > 0 &&
+                   subnets[j].members.size() > 0 &&
+                   subnets[i].prefix == subnets[j].prefix)
+          << "duplicate prefix " << subnets[i].prefix.to_string();
+    }
+  }
+}
+
+TEST_P(PostHocProperty, NoBoundaryMembersAndUnitDiameter) {
+  const auto input = random_observations(GetParam());
+  const auto subnets = infer_subnets_posthoc(input);
+
+  std::map<net::Ipv4Addr, int> distance;
+  for (const auto& obs : input) {
+    const auto [it, inserted] = distance.emplace(obs.addr, obs.distance);
+    if (!inserted && obs.distance < it->second) it->second = obs.distance;
+  }
+
+  for (const auto& subnet : subnets) {
+    int lo = 99, hi = -99;
+    for (const auto member : subnet.members) {
+      // H9 analogue: no member may be its subnet's network/broadcast.
+      EXPECT_FALSE(subnet.prefix.is_boundary(member))
+          << member.to_string() << " in " << subnet.prefix.to_string();
+      lo = std::min(lo, distance.at(member));
+      hi = std::max(hi, distance.at(member));
+    }
+    // Unit subnet diameter (§3.2(iii)).
+    EXPECT_LE(hi - lo, 1) << subnet.prefix.to_string();
+  }
+}
+
+TEST_P(PostHocProperty, Idempotent) {
+  const auto input = random_observations(GetParam());
+  const auto once = infer_subnets_posthoc(input);
+  const auto twice = infer_subnets_posthoc(input);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].prefix, twice[i].prefix);
+    EXPECT_EQ(once[i].members, twice[i].members);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostHocProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tn::core

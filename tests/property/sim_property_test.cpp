@@ -1,0 +1,118 @@
+// Property sweeps over randomized simulator topologies: TTL semantics and
+// routing must agree with each other for every reachable interface.
+#include <gtest/gtest.h>
+
+#include "probe/sim_engine.h"
+#include "sim/network.h"
+#include "sim/routing.h"
+#include "topo/reference.h"
+
+namespace tn::sim {
+namespace {
+
+class SimProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { ref_ = topo::internet2_like(GetParam()); }
+  topo::ReferenceTopology ref_;
+};
+
+// The TTL at which a direct probe is first answered must equal the routing
+// distance: expiry strictly below it, delivery at and above it.
+TEST_P(SimProperty, TtlLadderAgreesWithRoutingDistance) {
+  Network net(ref_.topo);
+  RoutingTable routes(ref_.topo);
+  probe::SimProbeEngine engine(net, ref_.vantage);
+
+  int checked = 0;
+  for (InterfaceId i = 0; i < ref_.topo.interface_count() && checked < 40; ++i) {
+    const Interface& iface = ref_.topo.interface(i);
+    if (!iface.responsive) continue;
+    if (ref_.topo.subnet(iface.subnet).firewalled) continue;
+    if (ref_.topo.node(iface.node).is_host && iface.node == ref_.vantage) continue;
+
+    // Distance to the interface = hops to reach its owner node, which is
+    // hops to a deliverer of the subnet + possibly one LAN forward.
+    const int subnet_distance = routes.distance(ref_.vantage, iface.subnet);
+    ASSERT_NE(subnet_distance, RoutingTable::kUnreachable);
+    const bool owner_delivers =
+        ref_.topo.interface_on(iface.node, iface.subnet).has_value();
+    ASSERT_TRUE(owner_delivers);
+
+    // Find the first TTL that gets an alive reply.
+    int first_alive = -1;
+    for (int ttl = 1; ttl <= 40; ++ttl) {
+      const auto reply = engine.indirect(iface.addr, static_cast<std::uint8_t>(ttl));
+      if (net::is_alive_reply(net::ProbeProtocol::kIcmp, reply.type)) {
+        first_alive = ttl;
+        break;
+      }
+      // Below the distance we must see TTL-exceeded or anonymous, never
+      // unreachable chatter.
+      EXPECT_TRUE(reply.is_none() || reply.is_ttl_exceeded());
+    }
+    ASSERT_GT(first_alive, 0) << iface.addr.to_string();
+    // Owner is attached to the subnet, so distance to the interface is
+    // within one hop of the subnet distance.
+    EXPECT_GE(first_alive, subnet_distance);
+    EXPECT_LE(first_alive, subnet_distance + 1);
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+// Replies to the same probe are deterministic.
+TEST_P(SimProperty, RepliesAreDeterministic) {
+  Network net_a(ref_.topo);
+  Network net_b(ref_.topo);
+  probe::SimProbeEngine a(net_a, ref_.vantage);
+  probe::SimProbeEngine b(net_b, ref_.vantage);
+  for (std::size_t t = 0; t < std::min<std::size_t>(ref_.targets.size(), 30); ++t) {
+    for (int ttl : {1, 3, 5, 64}) {
+      const auto ra = a.indirect(ref_.targets[t], static_cast<std::uint8_t>(ttl));
+      const auto rb = b.indirect(ref_.targets[t], static_cast<std::uint8_t>(ttl));
+      EXPECT_EQ(ra.type, rb.type);
+      EXPECT_EQ(ra.responder, rb.responder);
+    }
+  }
+}
+
+// A TTL-exceeded responder at ttl k is an interface whose owner really is k
+// forwarding hops from the vantage.
+TEST_P(SimProperty, TtlExceededComesFromTheRightHop) {
+  Network net(ref_.topo);
+  RoutingTable routes(ref_.topo);
+  probe::SimProbeEngine engine(net, ref_.vantage);
+
+  int checked = 0;
+  for (std::size_t t = 0; t < ref_.targets.size() && checked < 25; ++t) {
+    for (int ttl = 1; ttl <= 6; ++ttl) {
+      const auto reply = engine.indirect(ref_.targets[t],
+                                         static_cast<std::uint8_t>(ttl));
+      if (!reply.is_ttl_exceeded()) continue;
+      const auto responder = ref_.topo.find_interface(reply.responder);
+      ASSERT_TRUE(responder);
+      const NodeId node = ref_.topo.interface(*responder).node;
+      // The node must own some interface whose subnet is ttl-or-fewer hops
+      // away — i.e. it is plausibly the ttl-th router. Exact check: distance
+      // of its closest subnet +1 >= ttl and <= ttl.
+      int best = RoutingTable::kUnreachable;
+      for (const InterfaceId iface : ref_.topo.node(node).interfaces) {
+        const int d =
+            routes.distance(ref_.vantage, ref_.topo.interface(iface).subnet);
+        if (d == RoutingTable::kUnreachable) continue;
+        if (best == RoutingTable::kUnreachable || d < best) best = d;
+      }
+      ASSERT_NE(best, RoutingTable::kUnreachable);
+      EXPECT_EQ(best + 1, ttl) << "responder " << reply.responder.to_string()
+                               << " at ttl " << ttl;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace tn::sim

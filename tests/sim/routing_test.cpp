@@ -1,0 +1,127 @@
+#include "sim/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tn::sim {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+TEST(Routing, DistanceAlongChain) {
+  test::Fig3Topology f;
+  RoutingTable routes(f.topo);
+  // Distances from vantage to each subnet (router hops to reach a node that
+  // can deliver onto the subnet).
+  EXPECT_EQ(routes.distance(f.vantage, f.lan_v), 0);
+  EXPECT_EQ(routes.distance(f.vantage, f.s), 3);        // via G, R1, R2
+  EXPECT_EQ(routes.distance(f.vantage, f.close_lan), 3);
+  EXPECT_EQ(routes.distance(f.vantage, f.far_lan), 4);  // via R2 then R4
+  EXPECT_EQ(routes.distance(f.r2, f.s), 0);
+  EXPECT_EQ(routes.distance(f.r3, f.far_lan), 1);       // R4 delivers onto it
+}
+
+TEST(Routing, UnreachableIsland) {
+  Topology t;
+  const NodeId a = t.add_router("a");
+  const NodeId b = t.add_router("b");
+  const SubnetId sa = t.add_subnet(pfx("10.0.0.0/31"));
+  const SubnetId sb = t.add_subnet(pfx("10.0.1.0/31"));
+  t.attach(a, sa, ip("10.0.0.0"));
+  t.attach(b, sb, ip("10.0.1.0"));
+  RoutingTable routes(t);
+  EXPECT_EQ(routes.distance(a, sb), RoutingTable::kUnreachable);
+  EXPECT_TRUE(routes.next_hops(a, sb).empty());
+}
+
+TEST(Routing, NextHopsPointStrictlyCloser) {
+  test::Fig3Topology f;
+  RoutingTable routes(f.topo);
+  const auto hops = routes.next_hops(f.vantage, f.s);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].node, f.gateway);
+  const auto hops2 = routes.next_hops(f.gateway, f.s);
+  ASSERT_EQ(hops2.size(), 1u);
+  EXPECT_EQ(hops2[0].node, f.r1);
+}
+
+TEST(Routing, EqualCostPathsYieldMultipleNextHops) {
+  // Diamond: src -- a -- dst and src -- b -- dst, both length 2.
+  Topology t;
+  const NodeId src = t.add_router("src");
+  const NodeId a = t.add_router("a");
+  const NodeId b = t.add_router("b");
+  const NodeId dst = t.add_router("dst");
+  const SubnetId sa = t.add_subnet(pfx("10.0.0.0/31"));
+  const SubnetId sb = t.add_subnet(pfx("10.0.0.2/31"));
+  const SubnetId da = t.add_subnet(pfx("10.0.0.4/31"));
+  const SubnetId db = t.add_subnet(pfx("10.0.0.6/31"));
+  const SubnetId target = t.add_subnet(pfx("10.0.1.0/30"));
+  t.attach(src, sa, ip("10.0.0.0"));
+  t.attach(a, sa, ip("10.0.0.1"));
+  t.attach(src, sb, ip("10.0.0.2"));
+  t.attach(b, sb, ip("10.0.0.3"));
+  t.attach(a, da, ip("10.0.0.4"));
+  t.attach(dst, da, ip("10.0.0.5"));
+  t.attach(b, db, ip("10.0.0.6"));
+  t.attach(dst, db, ip("10.0.0.7"));
+  t.attach(dst, target, ip("10.0.1.1"));
+
+  RoutingTable routes(t);
+  EXPECT_EQ(routes.distance(src, target), 2);
+  EXPECT_EQ(routes.next_hops(src, target).size(), 2u);
+}
+
+TEST(Routing, HostsDoNotForwardTransit) {
+  // a -- host -- b: the only "path" from a to b runs through a host, so b's
+  // subnet must be unreachable from a.
+  Topology t;
+  const NodeId a = t.add_router("a");
+  const NodeId h = t.add_host("h");
+  const NodeId b = t.add_router("b");
+  const SubnetId s1 = t.add_subnet(pfx("10.0.0.0/31"));
+  const SubnetId s2 = t.add_subnet(pfx("10.0.0.2/31"));
+  const SubnetId leaf = t.add_subnet(pfx("10.0.1.0/30"));
+  t.attach(a, s1, ip("10.0.0.0"));
+  t.attach(h, s1, ip("10.0.0.1"));
+  t.attach(h, s2, ip("10.0.0.2"));
+  t.attach(b, s2, ip("10.0.0.3"));
+  t.attach(b, leaf, ip("10.0.1.1"));
+
+  RoutingTable routes(t);
+  EXPECT_EQ(routes.distance(a, leaf), RoutingTable::kUnreachable);
+  // But the host itself can originate toward b.
+  EXPECT_EQ(routes.distance(h, leaf), 1);
+}
+
+TEST(Routing, ShortestPathEgressPointsBackToSource) {
+  test::Fig3Topology f;
+  RoutingTable routes(f.topo);
+  // From R2, the interface toward the vantage LAN is its r1-r2 address.
+  const InterfaceId egress = routes.shortest_path_egress(f.r2, f.lan_v);
+  ASSERT_NE(egress, kInvalidId);
+  EXPECT_EQ(f.topo.interface(egress).addr, ip("10.0.2.1"));
+  // A node attached to the subnet reports its own interface on it.
+  const InterfaceId local = routes.shortest_path_egress(f.gateway, f.lan_v);
+  EXPECT_EQ(f.topo.interface(local).addr, ip("10.0.0.2"));
+}
+
+TEST(Routing, CacheInvalidatesOnTopologyChange) {
+  Topology t;
+  const NodeId a = t.add_router("a");
+  const NodeId b = t.add_router("b");
+  const SubnetId s = t.add_subnet(pfx("10.0.0.0/31"));
+  const SubnetId leaf = t.add_subnet(pfx("10.0.1.0/30"));
+  t.attach(a, s, ip("10.0.0.0"));
+  t.attach(b, leaf, ip("10.0.1.1"));
+
+  RoutingTable routes(t);
+  EXPECT_EQ(routes.distance(a, leaf), RoutingTable::kUnreachable);
+  t.attach(b, s, ip("10.0.0.1"));  // connect the island
+  EXPECT_EQ(routes.distance(a, leaf), 1);
+}
+
+}  // namespace
+}  // namespace tn::sim

@@ -1,0 +1,84 @@
+// Shared test topologies.
+//
+// Fig3Topology reproduces the scenario of the paper's Figure 3: a vantage
+// host three router-hops away from a multi-access subnet S, with the three
+// fringe-interface categories of Figure 5 present so heuristics H3/H7/H8 can
+// be exercised: an ingress fringe (other interfaces of the ingress router), a
+// close fringe (interface of R7 on a LAN the ingress router is directly on),
+// and a far fringe (interface of R4 on a LAN the ingress router is not on).
+#pragma once
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace tn::test {
+
+inline net::Ipv4Addr ip(std::string_view text) {
+  auto parsed = net::Ipv4Addr::parse(text);
+  if (!parsed) throw std::invalid_argument("bad test ip: " + std::string(text));
+  return *parsed;
+}
+
+inline net::Prefix pfx(std::string_view text) {
+  auto parsed = net::Prefix::parse(text);
+  if (!parsed) throw std::invalid_argument("bad test prefix: " + std::string(text));
+  return *parsed;
+}
+
+// Hop distances from vantage V: G=1, R1=2, R2=3 (ingress of S), members of S
+// (R3, R4, R6) = 4, R5 = 5, R7 = 4 (via the close-fringe LAN).
+struct Fig3Topology {
+  sim::Topology topo;
+  sim::NodeId vantage, gateway, r1, r2, r3, r4, r6, r5, r7;
+  sim::SubnetId lan_v, s, close_lan, far_lan;
+
+  // Addresses on subnet S = 192.168.1.0/28.
+  net::Ipv4Addr contra = ip("192.168.1.1");   // R2.w, hop 3
+  net::Ipv4Addr pivot3 = ip("192.168.1.2");   // R3, hop 4
+  net::Ipv4Addr pivot4 = ip("192.168.1.3");   // R4, hop 4
+  net::Ipv4Addr pivot6 = ip("192.168.1.4");   // R6, hop 4
+  net::Ipv4Addr close_fringe = ip("10.0.3.2");  // R7 on R2's other LAN, hop 4
+  net::Ipv4Addr far_fringe = ip("10.0.4.1");    // R4 on a LAN off S, hop 4
+
+  Fig3Topology() {
+    vantage = topo.add_host("V");
+    gateway = topo.add_router("G");
+    r1 = topo.add_router("R1");
+    r2 = topo.add_router("R2");
+    r3 = topo.add_router("R3");
+    r4 = topo.add_router("R4");
+    r6 = topo.add_router("R6");
+    r5 = topo.add_router("R5");
+    r7 = topo.add_router("R7");
+
+    lan_v = topo.add_subnet(pfx("10.0.0.0/30"));
+    topo.attach(vantage, lan_v, ip("10.0.0.1"));
+    topo.attach(gateway, lan_v, ip("10.0.0.2"));
+
+    const auto g_r1 = topo.add_subnet(pfx("10.0.1.0/31"));
+    topo.attach(gateway, g_r1, ip("10.0.1.0"));
+    topo.attach(r1, g_r1, ip("10.0.1.1"));
+
+    const auto r1_r2 = topo.add_subnet(pfx("10.0.2.0/31"));
+    topo.attach(r1, r1_r2, ip("10.0.2.0"));
+    topo.attach(r2, r1_r2, ip("10.0.2.1"));
+
+    s = topo.add_subnet(pfx("192.168.1.0/28"));
+    topo.attach(r2, s, contra);
+    topo.attach(r3, s, pivot3);
+    topo.attach(r4, s, pivot4);
+    topo.attach(r6, s, pivot6);
+
+    close_lan = topo.add_subnet(pfx("10.0.3.0/30"));
+    topo.attach(r2, close_lan, ip("10.0.3.1"));
+    topo.attach(r7, close_lan, close_fringe);
+
+    far_lan = topo.add_subnet(pfx("10.0.4.0/30"));
+    topo.attach(r4, far_lan, far_fringe);
+    topo.attach(r5, far_lan, ip("10.0.4.2"));
+  }
+};
+
+}  // namespace tn::test

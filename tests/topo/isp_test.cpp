@@ -1,0 +1,118 @@
+#include "topo/isp.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/routing.h"
+
+namespace tn::topo {
+namespace {
+
+// A small two-ISP internet for structural checks (the default four-ISP one
+// is exercised by the benches).
+std::vector<IspProfile> small_profiles() {
+  std::vector<IspProfile> profiles(2);
+  profiles[0].name = "IspA";
+  profiles[0].block = *net::Prefix::parse("24.0.0.0/10");
+  profiles[0].core_routers = 6;
+  profiles[0].subnet_counts = {{31, 30}, {30, 30}, {29, 8}, {24, 2}};
+  profiles[1].name = "IspB";
+  profiles[1].block = *net::Prefix::parse("60.0.0.0/10");
+  profiles[1].core_routers = 5;
+  profiles[1].subnet_counts = {{31, 20}, {30, 20}, {29, 5}, {22, 1}};
+  return profiles;
+}
+
+TEST(Isp, BuildsThreeVantagePoints) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 1);
+  ASSERT_EQ(inet.vantages.size(), 3u);
+  EXPECT_EQ(inet.vantage_names[0], "Rice");
+  for (const sim::NodeId vantage : inet.vantages)
+    EXPECT_TRUE(inet.topo.node(vantage).is_host);
+}
+
+TEST(Isp, RegistriesMatchRequestedCounts) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 2);
+  ASSERT_EQ(inet.isps.size(), 2u);
+  EXPECT_EQ(inet.isps[0].registry.size(), 70u);
+  EXPECT_EQ(inet.isps[1].registry.size(), 46u);
+}
+
+TEST(Isp, SubnetsLiveInsideTheIspBlock) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 3);
+  const auto profiles = small_profiles();
+  for (std::size_t i = 0; i < inet.isps.size(); ++i)
+    for (const auto& truth : inet.isps[i].registry.all())
+      EXPECT_TRUE(profiles[i].block.contains(truth.prefix))
+          << truth.prefix.to_string();
+}
+
+TEST(Isp, EveryTargetReachableFromEveryVantage) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 4);
+  sim::RoutingTable routes(inet.topo);
+  for (const sim::NodeId vantage : inet.vantages) {
+    for (const net::Ipv4Addr target : inet.all_targets()) {
+      const auto subnet = inet.topo.find_subnet_containing(target);
+      ASSERT_TRUE(subnet);
+      EXPECT_NE(routes.distance(vantage, *subnet),
+                sim::RoutingTable::kUnreachable)
+          << target.to_string();
+    }
+  }
+}
+
+TEST(Isp, BordersAttachToDistinctTransitRouters) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 5);
+  for (const auto& isp : inet.isps)
+    EXPECT_GE(isp.borders.size(), 3u);
+}
+
+TEST(Isp, GiantLanGetsManyHosts) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 6);
+  // IspB has one /22: its registry entry must carry hundreds of members.
+  const topo::GroundTruthSubnet* giant = nullptr;
+  for (const auto& truth : inet.isps[1].registry.all())
+    if (truth.prefix.length() == 22) giant = &truth;
+  ASSERT_NE(giant, nullptr);
+  EXPECT_GT(giant->assigned.size(), 400u);
+}
+
+TEST(Isp, FlakinessAppliedToIspInterfaces) {
+  auto profiles = small_profiles();
+  profiles[0].response_flakiness = 0.25;
+  const SimulatedInternet inet = build_internet(profiles, 7);
+  const auto& truth = inet.isps[0].registry.all().front();
+  const auto iface = inet.topo.find_interface(truth.assigned.front());
+  ASSERT_TRUE(iface);
+  EXPECT_DOUBLE_EQ(inet.topo.interface(*iface).flakiness, 0.25);
+}
+
+TEST(Isp, DefaultProfilesShapedLikeThePaper) {
+  const auto profiles = default_isp_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  auto total = [](const IspProfile& profile) {
+    int sum = 0;
+    for (const auto& [length, count] : profile.subnet_counts) sum += count;
+    return sum;
+  };
+  // Subnet-count ordering of Figure 8 / Table 3: Sprint > Level3 > Above > NTT.
+  EXPECT_GT(total(profiles[0]), total(profiles[2]));
+  EXPECT_GT(total(profiles[2]), total(profiles[3]));
+  EXPECT_GT(total(profiles[3]), total(profiles[1]));
+  // NTT hosts the /20-/22 giants.
+  EXPECT_TRUE(profiles[1].subnet_counts.contains(20));
+  // NTT is the least UDP-responsive (Table 3's 106 vs thousands).
+  for (int i : {0, 2, 3})
+    EXPECT_LT(profiles[1].udp_responsive_fraction,
+              profiles[i].udp_responsive_fraction);
+}
+
+TEST(Isp, RateLimitPlanListsOnlyRealNodes) {
+  const SimulatedInternet inet = build_internet(small_profiles(), 8);
+  for (const auto& [node, pps] : inet.rate_limit_plan) {
+    EXPECT_LT(node, inet.topo.node_count());
+    EXPECT_GT(pps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tn::topo

@@ -1,0 +1,121 @@
+#include "topo/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/routing.h"
+
+namespace tn::topo {
+namespace {
+
+TEST(Reference, Internet2DistributionMatchesTable1) {
+  const ReferenceTopology ref = internet2_like(1);
+  const auto counts = ref.registry.count_by_prefix_length();
+  EXPECT_EQ(counts[24], 6u);
+  EXPECT_EQ(counts[25], 1u);
+  EXPECT_EQ(counts[26], 0u);
+  EXPECT_EQ(counts[27], 2u);
+  EXPECT_EQ(counts[28], 26u);
+  EXPECT_EQ(counts[29], 20u);
+  EXPECT_EQ(counts[30], 101u);
+  EXPECT_EQ(counts[31], 23u);
+  EXPECT_EQ(ref.registry.size(), 179u);
+  EXPECT_EQ(ref.targets.size(), 179u);
+}
+
+TEST(Reference, GeantDistributionMatchesTable2) {
+  const ReferenceTopology ref = geant_like(1);
+  const auto counts = ref.registry.count_by_prefix_length();
+  EXPECT_EQ(counts[28], 24u);
+  EXPECT_EQ(counts[29], 109u);
+  EXPECT_EQ(counts[30], 138u);
+  EXPECT_EQ(ref.registry.size(), 271u);
+}
+
+TEST(Reference, ProfilesDecomposePerTable1) {
+  const ReferenceTopology ref = internet2_like(2);
+  std::map<SubnetProfile, int> by_profile;
+  for (const auto& truth : ref.registry.all()) ++by_profile[truth.profile];
+  EXPECT_EQ(by_profile[SubnetProfile::kClean], 132);
+  EXPECT_EQ(by_profile[SubnetProfile::kFirewalled], 21);
+  EXPECT_EQ(by_profile[SubnetProfile::kDarkTarget], 3);
+  EXPECT_EQ(by_profile[SubnetProfile::kSparse], 3);
+  EXPECT_EQ(by_profile[SubnetProfile::kPartialDark], 19);
+  EXPECT_EQ(by_profile[SubnetProfile::kOverlapBait], 1);
+}
+
+TEST(Reference, EveryTargetRoutableFromVantage) {
+  const ReferenceTopology ref = internet2_like(3);
+  sim::RoutingTable routes(ref.topo);
+  for (const auto& truth : ref.registry.all()) {
+    const auto subnet = ref.topo.find_subnet_containing(truth.suggested_target);
+    ASSERT_TRUE(subnet) << truth.suggested_target.to_string();
+    const int distance = routes.distance(ref.vantage, *subnet);
+    EXPECT_NE(distance, sim::RoutingTable::kUnreachable);
+    EXPECT_LT(distance, 30);  // inside traceroute's TTL budget
+  }
+}
+
+TEST(Reference, DarkTargetsAreUnassigned) {
+  const ReferenceTopology ref = internet2_like(4);
+  for (const auto& truth : ref.registry.all()) {
+    if (truth.profile != SubnetProfile::kDarkTarget) continue;
+    EXPECT_FALSE(ref.topo.find_interface(truth.suggested_target))
+        << "dark-target subnet must designate an unassigned address";
+    EXPECT_FALSE(truth.assigned.empty());
+  }
+}
+
+TEST(Reference, FirewalledSubnetsFlagged) {
+  const ReferenceTopology ref = geant_like(5);
+  for (const auto& truth : ref.registry.all()) {
+    ASSERT_NE(truth.subnet, sim::kInvalidId);
+    EXPECT_EQ(ref.topo.subnet(truth.subnet).firewalled,
+              truth.profile == SubnetProfile::kFirewalled);
+  }
+}
+
+TEST(Reference, PartialDarkSubnetsHaveDarkInterfaces) {
+  const ReferenceTopology ref = geant_like(6);
+  for (const auto& truth : ref.registry.all()) {
+    if (truth.profile != SubnetProfile::kPartialDark) continue;
+    EXPECT_LT(truth.responsive.size(), truth.assigned.size());
+    EXPECT_FALSE(truth.responsive.empty());
+  }
+}
+
+TEST(Reference, AssignedAddressesExistInTopology) {
+  const ReferenceTopology ref = internet2_like(7);
+  for (const auto& truth : ref.registry.all()) {
+    for (const auto addr : truth.assigned) {
+      const auto iface = ref.topo.find_interface(addr);
+      ASSERT_TRUE(iface) << addr.to_string();
+      EXPECT_EQ(ref.topo.interface(*iface).subnet, truth.subnet);
+    }
+  }
+}
+
+TEST(Reference, SeedsProduceDifferentButValidTopologies) {
+  const ReferenceTopology a = internet2_like(10);
+  const ReferenceTopology b = internet2_like(11);
+  EXPECT_EQ(a.registry.size(), b.registry.size());
+  // Different random layout: at least some subnets land elsewhere.
+  bool differs = false;
+  for (std::size_t i = 0; i < a.registry.size(); ++i)
+    differs |= a.registry.all()[i].prefix != b.registry.all()[i].prefix;
+  EXPECT_TRUE(differs);
+  // Same seed reproduces exactly.
+  const ReferenceTopology a2 = internet2_like(10);
+  for (std::size_t i = 0; i < a.registry.size(); ++i)
+    EXPECT_EQ(a.registry.all()[i].prefix, a2.registry.all()[i].prefix);
+}
+
+TEST(Registry, LookupHelpers) {
+  const ReferenceTopology ref = internet2_like(8);
+  const auto& first = ref.registry.all().front();
+  EXPECT_EQ(ref.registry.find_exact(first.prefix), &first);
+  EXPECT_EQ(ref.registry.find_containing(first.prefix.at(1)), &first);
+  EXPECT_EQ(ref.registry.find_containing(net::Ipv4Addr(9, 9, 9, 9)), nullptr);
+}
+
+}  // namespace
+}  // namespace tn::topo

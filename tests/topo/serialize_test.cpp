@@ -1,0 +1,105 @@
+#include "topo/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testutil.h"
+#include "topo/reference.h"
+
+namespace tn::topo {
+namespace {
+
+TEST(Serialize, RoundTripsFig3Topology) {
+  test::Fig3Topology f;
+  f.topo.subnet_mut(f.s).firewalled = true;
+  f.topo.interface_mut(*f.topo.find_interface(f.pivot3)).responsive = false;
+  sim::ResponseConfig config;
+  config.direct = sim::ResponsePolicy::kProbed;
+  config.indirect = sim::ResponsePolicy::kShortestPath;
+  f.topo.set_response_config(f.r2, net::ProbeProtocol::kIcmp, config);
+
+  std::stringstream buffer;
+  write_topology(buffer, f.topo);
+  const LoadedTopology loaded = read_topology(buffer);
+
+  EXPECT_EQ(loaded.topo.node_count(), f.topo.node_count());
+  EXPECT_EQ(loaded.topo.subnet_count(), f.topo.subnet_count());
+  EXPECT_EQ(loaded.topo.interface_count(), f.topo.interface_count());
+
+  const auto s = loaded.topo.find_subnet_exact(test::pfx("192.168.1.0/28"));
+  ASSERT_TRUE(s);
+  EXPECT_TRUE(loaded.topo.subnet(*s).firewalled);
+  const auto iface = loaded.topo.find_interface(f.pivot3);
+  ASSERT_TRUE(iface);
+  EXPECT_FALSE(loaded.topo.interface(*iface).responsive);
+}
+
+TEST(Serialize, RoundTripsResponseConfigs) {
+  test::Fig3Topology f;
+  const auto default_iface = *f.topo.interface_on(f.r2, f.close_lan);
+  sim::ResponseConfig config;
+  config.direct = sim::ResponsePolicy::kDefault;
+  config.indirect = sim::ResponsePolicy::kDefault;
+  config.default_interface = default_iface;
+  f.topo.set_response_config(f.r2, net::ProbeProtocol::kUdp, config);
+
+  std::stringstream buffer;
+  write_topology(buffer, f.topo);
+  const LoadedTopology loaded = read_topology(buffer);
+
+  // Find the loaded r2 by its close-LAN address and check the UDP config.
+  const auto iface = loaded.topo.find_interface(test::ip("10.0.3.1"));
+  ASSERT_TRUE(iface);
+  const sim::Node& r2 = loaded.topo.node(loaded.topo.interface(*iface).node);
+  EXPECT_EQ(r2.config_for(net::ProbeProtocol::kUdp).direct,
+            sim::ResponsePolicy::kDefault);
+  EXPECT_EQ(r2.config_for(net::ProbeProtocol::kUdp).default_interface, *iface);
+}
+
+TEST(Serialize, RoundTripsRegistry) {
+  const ReferenceTopology ref = internet2_like(99);
+  std::stringstream buffer;
+  write_topology(buffer, ref.topo, &ref.registry);
+  const LoadedTopology loaded = read_topology(buffer);
+
+  ASSERT_EQ(loaded.registry.size(), ref.registry.size());
+  for (std::size_t i = 0; i < ref.registry.size(); ++i) {
+    const auto& original = ref.registry.all()[i];
+    const auto& reloaded = loaded.registry.all()[i];
+    EXPECT_EQ(original.prefix, reloaded.prefix);
+    EXPECT_EQ(original.profile, reloaded.profile);
+    EXPECT_EQ(original.assigned, reloaded.assigned);
+    EXPECT_EQ(original.responsive, reloaded.responsive);
+    EXPECT_EQ(original.suggested_target, reloaded.suggested_target);
+  }
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::stringstream buffer(text);
+    EXPECT_THROW(read_topology(buffer), std::runtime_error) << text;
+  };
+  expect_throw("bogus record\n");
+  expect_throw("node x router r1\n");
+  expect_throw("subnet 0 10.0.0.0/99\n");
+  expect_throw("iface 0 0 10.0.0.1\n");  // unknown node/subnet
+  expect_throw("node 0 router a\nsubnet 0 10.0.0.0/30\niface 0 0 10.0.1.1\n");
+  expect_throw("truth 10.0.0.0/30 nonsense target=10.0.0.1 assigned= responsive=\n");
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# a comment\n"
+      "\n"
+      "node 0 router a\n"
+      "   # indented comment\n"
+      "subnet 0 10.0.0.0/30\n"
+      "iface 0 0 10.0.0.1\n");
+  const LoadedTopology loaded = read_topology(buffer);
+  EXPECT_EQ(loaded.topo.node_count(), 1u);
+  EXPECT_EQ(loaded.topo.interface_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tn::topo

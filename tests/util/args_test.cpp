@@ -1,0 +1,71 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::util {
+namespace {
+
+Args make_args() { return Args({"verbose", "live"}, {"protocol", "count"}); }
+
+bool parse(Args& args, std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return args.parse(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, FlagsOptionsAndPositionals) {
+  Args args = make_args();
+  ASSERT_TRUE(parse(args, {"--verbose", "--protocol", "udp", "10.0.0.1"}));
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.flag("live"));
+  EXPECT_EQ(args.option("protocol"), "udp");
+  EXPECT_FALSE(args.option("count"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "10.0.0.1");
+}
+
+TEST(Args, EqualsSyntax) {
+  Args args = make_args();
+  ASSERT_TRUE(parse(args, {"--protocol=tcp", "--count=5"}));
+  EXPECT_EQ(args.option("protocol"), "tcp");
+  EXPECT_EQ(args.option_or("count", "1"), "5");
+}
+
+TEST(Args, OptionOrFallback) {
+  Args args = make_args();
+  ASSERT_TRUE(parse(args, {}));
+  EXPECT_EQ(args.option_or("protocol", "icmp"), "icmp");
+}
+
+TEST(Args, RejectsUnknownOption) {
+  Args args = make_args();
+  EXPECT_FALSE(parse(args, {"--bogus"}));
+  EXPECT_NE(args.error().find("bogus"), std::string::npos);
+}
+
+TEST(Args, RejectsMissingValue) {
+  Args args = make_args();
+  EXPECT_FALSE(parse(args, {"--protocol"}));
+  EXPECT_NE(args.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Args, RejectsValueOnFlag) {
+  Args args = make_args();
+  EXPECT_FALSE(parse(args, {"--verbose=yes"}));
+}
+
+TEST(Args, MultiplePositionalsPreserveOrder) {
+  Args args = make_args();
+  ASSERT_TRUE(parse(args, {"a", "--live", "b", "c"}));
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(args.flag("live"));
+}
+
+TEST(Args, LastValueWins) {
+  Args args = make_args();
+  ASSERT_TRUE(parse(args, {"--count", "1", "--count", "2"}));
+  EXPECT_EQ(args.option("count"), "2");
+}
+
+}  // namespace
+}  // namespace tn::util

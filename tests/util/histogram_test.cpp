@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::util {
+namespace {
+
+TEST(Histogram, BarsScaleToMax) {
+  const std::vector<HistogramBar> bars = {{"a", 100.0}, {"b", 50.0}, {"c", 0.0}};
+  const std::string out = render_bars(bars, 10);
+  // "a" gets the full width, "b" half, "c" none.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  const auto c_line = out.find("c ");
+  ASSERT_NE(c_line, std::string::npos);
+  EXPECT_EQ(out.find('#', c_line), std::string::npos);
+}
+
+TEST(Histogram, TinyNonZeroGetsAVisibleTick) {
+  const std::vector<HistogramBar> bars = {{"big", 100000.0}, {"tiny", 1.0}};
+  const std::string out = render_bars(bars, 20);
+  const auto tiny_line = out.find("tiny");
+  ASSERT_NE(tiny_line, std::string::npos);
+  EXPECT_NE(out.find('#', tiny_line), std::string::npos);
+}
+
+TEST(Histogram, LogScaleCompressesRatios) {
+  const std::vector<HistogramBar> bars = {{"a", 1000.0}, {"b", 10.0}};
+  const std::string linear = render_bars(bars, 30, false);
+  const std::string log = render_bars(bars, 30, true);
+  auto hash_count_after = [](const std::string& text, const char* label) {
+    const auto pos = text.find(label);
+    std::size_t count = 0;
+    for (std::size_t i = pos; i < text.size() && text[i] != '\n'; ++i)
+      count += text[i] == '#';
+    return count;
+  };
+  // Linear: b is ~1/100 of a; log: b is ~1/3 of a.
+  EXPECT_LT(hash_count_after(linear, "b"), 3u);
+  EXPECT_GT(hash_count_after(log, "b"), 5u);
+}
+
+TEST(Histogram, GroupedRendersEverySeries) {
+  const std::string out =
+      render_grouped({"row1", "row2"}, {"s1", "s2"},
+                     {{10.0, 20.0}, {30.0, 40.0}}, 20);
+  EXPECT_NE(out.find("row1"), std::string::npos);
+  EXPECT_NE(out.find("row2"), std::string::npos);
+  // Two series labels per row -> four bars total.
+  std::size_t s1 = 0, pos = 0;
+  while ((pos = out.find("s1", pos)) != std::string::npos) {
+    ++s1;
+    ++pos;
+  }
+  EXPECT_EQ(s1, 2u);
+}
+
+TEST(Histogram, EmptyInput) {
+  EXPECT_EQ(render_bars({}, 10), "");
+  EXPECT_EQ(render_grouped({}, {}, {}), "");
+}
+
+}  // namespace
+}  // namespace tn::util

@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, TrailingSeparator) {
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(SplitWs, DropsEmptyRuns) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("tracenet", "trace"));
+  EXPECT_FALSE(starts_with("trace", "tracenet"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ParseU64, ValidNumbers) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsGarbageAndOverflow) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // 2^64
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(3.0, 3), "3.000");
+  EXPECT_EQ(format_double(0.8635, 2), "0.86");
+}
+
+TEST(Percent, HandlesZeroDenominator) {
+  EXPECT_EQ(percent(1, 0), "n/a");
+  EXPECT_EQ(percent(737, 1000, 1), "73.7%");
+}
+
+}  // namespace
+}  // namespace tn::util

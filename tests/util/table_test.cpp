@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tn::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvSkipsRules) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const auto csv = t.render_csv();
+  // header + 2 data rows = 3 lines
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Table, RuleRendersAsSeparatorLine) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  const auto out = t.render();
+  // header rule + explicit rule
+  EXPECT_GE(std::count(out.begin(), out.end(), '-'), 2);
+}
+
+}  // namespace
+}  // namespace tn::util

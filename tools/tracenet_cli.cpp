@@ -1,0 +1,244 @@
+// tracenet — the command-line topology collector.
+//
+// Modes:
+//   --demo internet2|geant|internet   run on a generated reference network
+//   --topology FILE                   run on a serialized topology
+//                                     (see topo/serialize.h for the format)
+//   --live                            raw-socket ICMP probing (CAP_NET_RAW)
+//
+// Common options:
+//   --targets FILE      newline-separated destination list ('#' comments)
+//   --vantage NAME      vantage host name for simulated topologies
+//   --protocol P        icmp (default) | udp | tcp
+//   --max-ttl N         trace depth (default 32)
+//   --retries N         re-probes on silence (default 1)
+//   --multipath         enumerate ECMP diamonds and explore every branch
+//   --csv FILE          write collected subnets as CSV
+//   --dot FILE          write the inferred router-level map as Graphviz DOT
+//   --verbose           per-hop / per-subnet diagnostics on stderr
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/multipath.h"
+#include "core/session.h"
+#include "eval/campaign.h"
+#include "eval/mapbuilder.h"
+#include "eval/report.h"
+#include "probe/raw.h"
+#include "probe/sim_engine.h"
+#include "sim/network.h"
+#include "topo/isp.h"
+#include "topo/reference.h"
+#include "topo/serialize.h"
+#include "util/args.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+using namespace tn;
+
+namespace {
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: tracenet_cli [--demo internet2|geant|internet | "
+               "--topology FILE | --live]\n"
+               "                    [--targets FILE] [--vantage NAME] "
+               "[--protocol icmp|udp|tcp]\n"
+               "                    [--max-ttl N] [--retries N] [--multipath]\n"
+               "                    [--csv FILE] [--dot FILE] [--verbose] "
+               "[targets...]\n");
+  return 2;
+}
+
+std::vector<net::Ipv4Addr> load_targets(const std::string& path, bool& ok) {
+  std::vector<net::Ipv4Addr> out;
+  std::ifstream file(path);
+  ok = file.good();
+  std::string line;
+  while (std::getline(file, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto addr = net::Ipv4Addr::parse(trimmed);
+    if (!addr) {
+      std::fprintf(stderr, "warning: skipping bad target %.*s\n",
+                   static_cast<int>(trimmed.size()), trimmed.data());
+      continue;
+    }
+    out.push_back(*addr);
+  }
+  return out;
+}
+
+struct SimWorld {
+  sim::Topology topo;
+  sim::NodeId vantage = sim::kInvalidId;
+  std::vector<net::Ipv4Addr> default_targets;
+};
+
+std::optional<SimWorld> make_world(const util::Args& args) {
+  SimWorld world;
+  if (const auto demo = args.option("demo")) {
+    if (*demo == "internet2") {
+      auto ref = topo::internet2_like(42);
+      world.topo = std::move(ref.topo);
+      world.vantage = ref.vantage;
+      world.default_targets = std::move(ref.targets);
+    } else if (*demo == "geant") {
+      auto ref = topo::geant_like(43);
+      world.topo = std::move(ref.topo);
+      world.vantage = ref.vantage;
+      world.default_targets = std::move(ref.targets);
+    } else if (*demo == "internet") {
+      auto inet = topo::build_internet(topo::default_isp_profiles(), 7);
+      world.default_targets = inet.all_targets();
+      world.vantage = inet.vantages.front();
+      world.topo = std::move(inet.topo);
+    } else {
+      std::fprintf(stderr, "unknown demo '%s'\n", demo->c_str());
+      return std::nullopt;
+    }
+  } else if (const auto path = args.option("topology")) {
+    std::ifstream file(*path);
+    if (!file.good()) {
+      std::fprintf(stderr, "cannot open topology file %s\n", path->c_str());
+      return std::nullopt;
+    }
+    try {
+      auto loaded = topo::read_topology(file);
+      world.topo = std::move(loaded.topo);
+      for (const auto& truth : loaded.registry.all())
+        if (!truth.suggested_target.is_unset())
+          world.default_targets.push_back(truth.suggested_target);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return std::nullopt;
+    }
+  }
+
+  // Vantage: by name, else the first host.
+  const auto vantage_name = args.option("vantage");
+  for (sim::NodeId id = 0; id < world.topo.node_count(); ++id) {
+    const sim::Node& node = world.topo.node(id);
+    if (vantage_name ? node.name == *vantage_name : node.is_host) {
+      world.vantage = id;
+      break;
+    }
+  }
+  if (world.vantage == sim::kInvalidId) {
+    std::fprintf(stderr, "no vantage host found%s\n",
+                 vantage_name ? (" named " + *vantage_name).c_str() : "");
+    return std::nullopt;
+  }
+  return world;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args({"live", "multipath", "verbose"},
+                  {"demo", "topology", "targets", "vantage", "protocol",
+                   "max-ttl", "retries", "csv", "dot"});
+  if (!args.parse(argc, argv)) return usage(args.error().c_str());
+  if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
+
+  net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
+  const std::string protocol_name = args.option_or("protocol", "icmp");
+  if (protocol_name == "udp") protocol = net::ProbeProtocol::kUdp;
+  else if (protocol_name == "tcp") protocol = net::ProbeProtocol::kTcp;
+  else if (protocol_name != "icmp") return usage("bad --protocol");
+
+  std::uint64_t max_ttl = 32, retries = 1;
+  if (!util::parse_u64(args.option_or("max-ttl", "32"), max_ttl) ||
+      max_ttl == 0 || max_ttl > 64)
+    return usage("bad --max-ttl");
+  if (!util::parse_u64(args.option_or("retries", "1"), retries) || retries > 8)
+    return usage("bad --retries");
+
+  // Targets: positional + --targets file.
+  std::vector<net::Ipv4Addr> targets;
+  for (const std::string& positional : args.positional()) {
+    const auto addr = net::Ipv4Addr::parse(positional);
+    if (!addr) return usage(("bad target " + positional).c_str());
+    targets.push_back(*addr);
+  }
+  if (const auto path = args.option("targets")) {
+    bool ok = false;
+    auto from_file = load_targets(*path, ok);
+    if (!ok) return usage(("cannot open targets file " + *path).c_str());
+    targets.insert(targets.end(), from_file.begin(), from_file.end());
+  }
+
+  // Engine selection.
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<probe::ProbeEngine> engine;
+  std::optional<SimWorld> world;
+  if (args.flag("live")) {
+    if (!probe::RawSocketProbeEngine::available()) {
+      std::fprintf(stderr, "--live needs CAP_NET_RAW (or root)\n");
+      return 1;
+    }
+    if (targets.empty()) return usage("--live needs at least one target");
+    engine = std::make_unique<probe::RawSocketProbeEngine>();
+  } else {
+    if (!args.option("demo") && !args.option("topology"))
+      return usage("pick a mode: --demo, --topology or --live");
+    world = make_world(args);
+    if (!world) return 1;
+    network = std::make_unique<sim::Network>(world->topo);
+    engine = std::make_unique<probe::SimProbeEngine>(*network, world->vantage);
+    if (targets.empty()) targets = world->default_targets;
+  }
+  if (targets.empty()) return usage("no targets");
+
+  // Run.
+  std::vector<core::SessionResult> sessions;
+  eval::VantageObservations observations;
+  observations.vantage = "cli";
+  observations.targets_total = targets.size();
+
+  if (args.flag("multipath")) {
+    core::MultipathConfig config;
+    config.protocol = protocol;
+    config.max_ttl = static_cast<int>(max_ttl);
+    core::MultipathTracenetSession session(*engine, config);
+    for (const net::Ipv4Addr target : targets) {
+      const auto result = session.run(target);
+      std::printf("multipath tracenet to %s: %zu subnets over %zu diamonds, "
+                  "%llu probes\n",
+                  target.to_string().c_str(), result.subnets.size(),
+                  result.paths.diamond_count(),
+                  static_cast<unsigned long long>(result.wire_probes));
+      for (const auto& subnet : result.subnets) {
+        std::printf("  %s\n", subnet.to_string().c_str());
+        if (subnet.prefix.length() < 32) observations.subnets.push_back(subnet);
+      }
+    }
+  } else {
+    core::SessionConfig config;
+    config.protocol = protocol;
+    config.trace.max_ttl = static_cast<int>(max_ttl);
+    config.retry_attempts = static_cast<int>(retries) + 1;
+    core::TracenetSession session(*engine, config);
+    for (const net::Ipv4Addr target : targets) {
+      sessions.push_back(session.run(target));
+      std::printf("%s\n", sessions.back().to_string().c_str());
+      for (const auto& subnet : sessions.back().subnets)
+        if (subnet.prefix.length() < 32) observations.subnets.push_back(subnet);
+    }
+  }
+
+  if (const auto path = args.option("csv")) {
+    std::ofstream out(*path);
+    out << eval::subnets_csv(observations);
+    std::fprintf(stderr, "wrote %s\n", path->c_str());
+  }
+  if (const auto path = args.option("dot")) {
+    std::ofstream out(*path);
+    out << eval::build_router_map(sessions).to_dot();
+    std::fprintf(stderr, "wrote %s\n", path->c_str());
+  }
+  return 0;
+}
