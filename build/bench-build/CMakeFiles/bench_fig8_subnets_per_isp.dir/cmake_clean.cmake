@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_subnets_per_isp"
+  "../bench/bench_fig8_subnets_per_isp.pdb"
+  "CMakeFiles/bench_fig8_subnets_per_isp.dir/bench_fig8_subnets_per_isp.cpp.o"
+  "CMakeFiles/bench_fig8_subnets_per_isp.dir/bench_fig8_subnets_per_isp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_subnets_per_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

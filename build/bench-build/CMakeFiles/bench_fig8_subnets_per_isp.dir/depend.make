@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_subnets_per_isp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_prefix_distribution"
+  "../bench/bench_fig9_prefix_distribution.pdb"
+  "CMakeFiles/bench_fig9_prefix_distribution.dir/bench_fig9_prefix_distribution.cpp.o"
+  "CMakeFiles/bench_fig9_prefix_distribution.dir/bench_fig9_prefix_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_prefix_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

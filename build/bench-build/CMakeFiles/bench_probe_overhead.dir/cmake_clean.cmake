@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_probe_overhead"
+  "../bench/bench_probe_overhead.pdb"
+  "CMakeFiles/bench_probe_overhead.dir/bench_probe_overhead.cpp.o"
+  "CMakeFiles/bench_probe_overhead.dir/bench_probe_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_similarity_rates"
+  "../bench/bench_similarity_rates.pdb"
+  "CMakeFiles/bench_similarity_rates.dir/bench_similarity_rates.cpp.o"
+  "CMakeFiles/bench_similarity_rates.dir/bench_similarity_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarity_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_geant"
+  "../bench/bench_table2_geant.pdb"
+  "CMakeFiles/bench_table2_geant.dir/bench_table2_geant.cpp.o"
+  "CMakeFiles/bench_table2_geant.dir/bench_table2_geant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_geant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_protocols.cpp" "bench-build/CMakeFiles/bench_table3_protocols.dir/bench_table3_protocols.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table3_protocols.dir/bench_table3_protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/tn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/tn_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

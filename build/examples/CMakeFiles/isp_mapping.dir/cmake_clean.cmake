@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_mapping.dir/isp_mapping.cpp.o"
+  "CMakeFiles/isp_mapping.dir/isp_mapping.cpp.o.d"
+  "isp_mapping"
+  "isp_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_tracenet.dir/live_tracenet.cpp.o"
+  "CMakeFiles/live_tracenet.dir/live_tracenet.cpp.o.d"
+  "live_tracenet"
+  "live_tracenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_tracenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

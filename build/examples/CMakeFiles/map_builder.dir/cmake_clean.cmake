@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_builder.dir/map_builder.cpp.o"
+  "CMakeFiles/map_builder.dir/map_builder.cpp.o.d"
+  "map_builder"
+  "map_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

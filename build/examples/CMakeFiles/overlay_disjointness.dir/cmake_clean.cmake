@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_disjointness.dir/overlay_disjointness.cpp.o"
+  "CMakeFiles/overlay_disjointness.dir/overlay_disjointness.cpp.o.d"
+  "overlay_disjointness"
+  "overlay_disjointness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_disjointness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posthoc_comparison.dir/posthoc_comparison.cpp.o"
+  "CMakeFiles/posthoc_comparison.dir/posthoc_comparison.cpp.o.d"
+  "posthoc_comparison"
+  "posthoc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posthoc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alias.cpp" "src/core/CMakeFiles/tn_core.dir/alias.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/alias.cpp.o.d"
+  "/root/repo/src/core/exploration.cpp" "src/core/CMakeFiles/tn_core.dir/exploration.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/exploration.cpp.o.d"
+  "/root/repo/src/core/multipath.cpp" "src/core/CMakeFiles/tn_core.dir/multipath.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/multipath.cpp.o.d"
+  "/root/repo/src/core/positioning.cpp" "src/core/CMakeFiles/tn_core.dir/positioning.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/positioning.cpp.o.d"
+  "/root/repo/src/core/posthoc.cpp" "src/core/CMakeFiles/tn_core.dir/posthoc.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/posthoc.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/tn_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/traceroute.cpp" "src/core/CMakeFiles/tn_core.dir/traceroute.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/traceroute.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/tn_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/tn_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/tn_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

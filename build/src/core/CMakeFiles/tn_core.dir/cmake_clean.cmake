@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_core.dir/alias.cpp.o"
+  "CMakeFiles/tn_core.dir/alias.cpp.o.d"
+  "CMakeFiles/tn_core.dir/exploration.cpp.o"
+  "CMakeFiles/tn_core.dir/exploration.cpp.o.d"
+  "CMakeFiles/tn_core.dir/multipath.cpp.o"
+  "CMakeFiles/tn_core.dir/multipath.cpp.o.d"
+  "CMakeFiles/tn_core.dir/positioning.cpp.o"
+  "CMakeFiles/tn_core.dir/positioning.cpp.o.d"
+  "CMakeFiles/tn_core.dir/posthoc.cpp.o"
+  "CMakeFiles/tn_core.dir/posthoc.cpp.o.d"
+  "CMakeFiles/tn_core.dir/session.cpp.o"
+  "CMakeFiles/tn_core.dir/session.cpp.o.d"
+  "CMakeFiles/tn_core.dir/traceroute.cpp.o"
+  "CMakeFiles/tn_core.dir/traceroute.cpp.o.d"
+  "CMakeFiles/tn_core.dir/types.cpp.o"
+  "CMakeFiles/tn_core.dir/types.cpp.o.d"
+  "libtn_core.a"
+  "libtn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

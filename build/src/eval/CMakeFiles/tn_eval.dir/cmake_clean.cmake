@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_eval.dir/campaign.cpp.o"
+  "CMakeFiles/tn_eval.dir/campaign.cpp.o.d"
+  "CMakeFiles/tn_eval.dir/classification.cpp.o"
+  "CMakeFiles/tn_eval.dir/classification.cpp.o.d"
+  "CMakeFiles/tn_eval.dir/crossval.cpp.o"
+  "CMakeFiles/tn_eval.dir/crossval.cpp.o.d"
+  "CMakeFiles/tn_eval.dir/mapbuilder.cpp.o"
+  "CMakeFiles/tn_eval.dir/mapbuilder.cpp.o.d"
+  "CMakeFiles/tn_eval.dir/report.cpp.o"
+  "CMakeFiles/tn_eval.dir/report.cpp.o.d"
+  "CMakeFiles/tn_eval.dir/similarity.cpp.o"
+  "CMakeFiles/tn_eval.dir/similarity.cpp.o.d"
+  "libtn_eval.a"
+  "libtn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

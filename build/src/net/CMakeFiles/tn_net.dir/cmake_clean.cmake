@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_net.dir/checksum.cpp.o"
+  "CMakeFiles/tn_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/tn_net.dir/ipv4.cpp.o"
+  "CMakeFiles/tn_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/tn_net.dir/packet.cpp.o"
+  "CMakeFiles/tn_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tn_net.dir/prefix.cpp.o"
+  "CMakeFiles/tn_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/tn_net.dir/wire.cpp.o"
+  "CMakeFiles/tn_net.dir/wire.cpp.o.d"
+  "libtn_net.a"
+  "libtn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

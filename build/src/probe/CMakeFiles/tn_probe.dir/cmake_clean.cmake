@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_probe.dir/raw.cpp.o"
+  "CMakeFiles/tn_probe.dir/raw.cpp.o.d"
+  "libtn_probe.a"
+  "libtn_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

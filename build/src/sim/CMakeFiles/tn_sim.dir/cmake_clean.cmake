@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_sim.dir/network.cpp.o"
+  "CMakeFiles/tn_sim.dir/network.cpp.o.d"
+  "CMakeFiles/tn_sim.dir/routing.cpp.o"
+  "CMakeFiles/tn_sim.dir/routing.cpp.o.d"
+  "CMakeFiles/tn_sim.dir/topology.cpp.o"
+  "CMakeFiles/tn_sim.dir/topology.cpp.o.d"
+  "libtn_sim.a"
+  "libtn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtn_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_topo.dir/ground_truth.cpp.o"
+  "CMakeFiles/tn_topo.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/tn_topo.dir/isp.cpp.o"
+  "CMakeFiles/tn_topo.dir/isp.cpp.o.d"
+  "CMakeFiles/tn_topo.dir/reference.cpp.o"
+  "CMakeFiles/tn_topo.dir/reference.cpp.o.d"
+  "CMakeFiles/tn_topo.dir/serialize.cpp.o"
+  "CMakeFiles/tn_topo.dir/serialize.cpp.o.d"
+  "libtn_topo.a"
+  "libtn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_util.dir/args.cpp.o"
+  "CMakeFiles/tn_util.dir/args.cpp.o.d"
+  "CMakeFiles/tn_util.dir/histogram.cpp.o"
+  "CMakeFiles/tn_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tn_util.dir/log.cpp.o"
+  "CMakeFiles/tn_util.dir/log.cpp.o.d"
+  "CMakeFiles/tn_util.dir/rng.cpp.o"
+  "CMakeFiles/tn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tn_util.dir/strings.cpp.o"
+  "CMakeFiles/tn_util.dir/strings.cpp.o.d"
+  "CMakeFiles/tn_util.dir/table.cpp.o"
+  "CMakeFiles/tn_util.dir/table.cpp.o.d"
+  "libtn_util.a"
+  "libtn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

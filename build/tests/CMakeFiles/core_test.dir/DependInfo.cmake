@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alias_test.cpp" "tests/CMakeFiles/core_test.dir/core/alias_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/alias_test.cpp.o.d"
+  "/root/repo/tests/core/exploration_edge_test.cpp" "tests/CMakeFiles/core_test.dir/core/exploration_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/exploration_edge_test.cpp.o.d"
+  "/root/repo/tests/core/exploration_test.cpp" "tests/CMakeFiles/core_test.dir/core/exploration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/exploration_test.cpp.o.d"
+  "/root/repo/tests/core/multipath_test.cpp" "tests/CMakeFiles/core_test.dir/core/multipath_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multipath_test.cpp.o.d"
+  "/root/repo/tests/core/positioning_test.cpp" "tests/CMakeFiles/core_test.dir/core/positioning_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/positioning_test.cpp.o.d"
+  "/root/repo/tests/core/posthoc_test.cpp" "tests/CMakeFiles/core_test.dir/core/posthoc_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/posthoc_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/core/traceroute_test.cpp" "tests/CMakeFiles/core_test.dir/core/traceroute_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/traceroute_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/tn_probe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/alias_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/alias_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/exploration_edge_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/exploration_edge_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/exploration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/exploration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/multipath_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/multipath_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/positioning_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/positioning_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/posthoc_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/posthoc_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/traceroute_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/traceroute_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/campaign_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/campaign_test.cpp.o.d"
+  "/root/repo/tests/eval/classification_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/classification_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/classification_test.cpp.o.d"
+  "/root/repo/tests/eval/crossval_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/crossval_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/crossval_test.cpp.o.d"
+  "/root/repo/tests/eval/mapbuilder_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/mapbuilder_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/mapbuilder_test.cpp.o.d"
+  "/root/repo/tests/eval/report_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/report_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/report_test.cpp.o.d"
+  "/root/repo/tests/eval/similarity_test.cpp" "tests/CMakeFiles/eval_test.dir/eval/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/similarity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/tn_probe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

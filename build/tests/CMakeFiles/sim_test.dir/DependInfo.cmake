@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/fluctuation_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/fluctuation_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/fluctuation_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/routing_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/routing_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/routing_test.cpp.o.d"
+  "/root/repo/tests/sim/topology_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracenet_cli.dir/tracenet_cli.cpp.o"
+  "CMakeFiles/tracenet_cli.dir/tracenet_cli.cpp.o.d"
+  "tracenet_cli"
+  "tracenet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracenet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
