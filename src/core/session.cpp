@@ -55,6 +55,8 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
           break;
         }
       }
+      if (!covered && config_.covered_externally && config_.covered_externally(v))
+        covered = true;
       if (covered) {
         previous = v;
         continue;

@@ -10,6 +10,7 @@
 // scattering the path (§3.8 / Paris traceroute).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/exploration.h"
@@ -33,6 +34,14 @@ struct SessionConfig {
   // Skip positioning+exploration for a hop whose address already lies inside
   // a subnet collected earlier in this session.
   bool skip_covered_hops = true;
+  // Optional cross-session coverage oracle: when set (and skip_covered_hops
+  // is on), a hop inside a subnet some *other* session already explored is
+  // skipped too — the Doubletree-style shared stop set of the concurrent
+  // campaign runtime. Skipped subnets are absent from this session's result;
+  // the campaign merge re-unions them from whichever session grew them.
+  // Trades strict per-session completeness for probe savings, so the
+  // runtime only wires it up in non-deterministic (fast) mode.
+  std::function<bool(net::Ipv4Addr)> covered_externally;
 };
 
 class TracenetSession {
@@ -48,6 +57,9 @@ class TracenetSession {
   std::uint64_t wire_probes() const noexcept {
     return wire_engine_.probes_issued();
   }
+
+  // Re-probes spent by the §3.8 retry layer so far (all runs).
+  std::uint64_t retries_used() const noexcept { return retry_->retries_used(); }
 
  private:
   probe::ProbeEngine& wire_engine_;

@@ -1,7 +1,5 @@
 #include "eval/campaign.h"
 
-#include <map>
-
 #include "probe/sim_engine.h"
 #include "util/log.h"
 
@@ -13,58 +11,66 @@ std::set<net::Prefix> VantageObservations::prefixes() const {
   return out;
 }
 
+CampaignAccumulator::CampaignAccumulator(std::string vantage_name,
+                                         std::size_t targets_total) {
+  out_.vantage = std::move(vantage_name);
+  out_.targets_total = targets_total;
+}
+
+bool CampaignAccumulator::covered(net::Ipv4Addr addr) const {
+  for (const auto& [prefix, subnet] : by_prefix_)
+    if (prefix.contains(addr)) return true;
+  return false;
+}
+
+void CampaignAccumulator::add(const core::SessionResult& result) {
+  ++out_.targets_traced;
+  if (result.path.destination_reached) ++out_.targets_responding;
+
+  // Deduplicate observations by prefix, keeping the richest member set (the
+  // paper reports each subnet once however many paths crossed it).
+  for (const core::ObservedSubnet& subnet : result.subnets) {
+    if (subnet.prefix.length() == 32) {
+      out_.unsubnetized.insert(subnet.pivot);
+      continue;
+    }
+    const auto [it, inserted] = by_prefix_.emplace(subnet.prefix, subnet);
+    if (!inserted && subnet.members.size() > it->second.members.size())
+      it->second = subnet;
+  }
+}
+
+VantageObservations CampaignAccumulator::finalize() {
+  for (const auto& [prefix, subnet] : by_prefix_) {
+    out_.subnetized_addrs.insert(subnet.members.begin(), subnet.members.end());
+    out_.subnets.push_back(subnet);
+  }
+  // An address inside some grown subnet is not "un-subnetized" even if one
+  // session failed to grow around it.
+  for (auto it = out_.unsubnetized.begin(); it != out_.unsubnetized.end();) {
+    it = out_.subnetized_addrs.contains(*it) ? out_.unsubnetized.erase(it)
+                                             : std::next(it);
+  }
+  return std::move(out_);
+}
+
 VantageObservations run_campaign(sim::Network& network, sim::NodeId vantage,
                                  const std::string& vantage_name,
                                  const std::vector<net::Ipv4Addr>& targets,
                                  const CampaignConfig& config) {
-  VantageObservations out;
-  out.vantage = vantage_name;
-  out.targets_total = targets.size();
-
   probe::SimProbeEngine wire(network, vantage);
   core::TracenetSession session(wire, config.session);
-
-  // Deduplicate observations by prefix, keeping the richest member set (the
-  // paper reports each subnet once however many paths crossed it).
-  std::map<net::Prefix, core::ObservedSubnet> by_prefix;
-
-  auto covered = [&](net::Ipv4Addr addr) {
-    for (const auto& [prefix, subnet] : by_prefix)
-      if (prefix.contains(addr)) return true;
-    return false;
-  };
+  CampaignAccumulator acc(vantage_name, targets.size());
 
   for (const net::Ipv4Addr target : targets) {
-    if (config.skip_covered_targets && covered(target)) {
-      ++out.targets_covered;
+    if (config.skip_covered_targets && acc.covered(target)) {
+      acc.note_covered();
       continue;
     }
-    ++out.targets_traced;
-    const core::SessionResult result = session.run(target);
-    if (result.path.destination_reached) ++out.targets_responding;
-
-    for (const core::ObservedSubnet& subnet : result.subnets) {
-      if (subnet.prefix.length() == 32) {
-        out.unsubnetized.insert(subnet.pivot);
-        continue;
-      }
-      const auto [it, inserted] = by_prefix.emplace(subnet.prefix, subnet);
-      if (!inserted && subnet.members.size() > it->second.members.size())
-        it->second = subnet;
-    }
+    acc.add(session.run(target));
   }
 
-  for (const auto& [prefix, subnet] : by_prefix) {
-    out.subnetized_addrs.insert(subnet.members.begin(), subnet.members.end());
-    out.subnets.push_back(subnet);
-  }
-  // An address inside some grown subnet is not "un-subnetized" even if one
-  // session failed to grow around it.
-  for (auto it = out.unsubnetized.begin(); it != out.unsubnetized.end();) {
-    it = out.subnetized_addrs.contains(*it) ? out.unsubnetized.erase(it)
-                                            : std::next(it);
-  }
-
+  VantageObservations out = acc.finalize();
   out.wire_probes = wire.probes_issued();
   util::log(util::LogLevel::kInfo, "campaign", vantage_name, ": ",
             out.subnets.size(), " subnets, ", out.unsubnetized.size(),

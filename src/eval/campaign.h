@@ -2,6 +2,7 @@
 // and aggregates the observations the paper's figures are computed from.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +34,33 @@ struct VantageObservations {
 
   // The set of observed prefixes (non-/32), for cross-validation.
   std::set<net::Prefix> prefixes() const;
+};
+
+// The campaign aggregation algorithm, factored out of run_campaign so the
+// serial driver and the concurrent runtime (runtime::CampaignRuntime)
+// produce observations through the *same* code path: feed session results
+// in target order, ask covered() before each, finalize once. Sharing the
+// merge logic is what makes the parallel runtime's deterministic mode
+// byte-identical to the serial path (see docs/RUNTIME.md).
+class CampaignAccumulator {
+ public:
+  CampaignAccumulator(std::string vantage_name, std::size_t targets_total);
+
+  // True when `target` lies inside a subnet merged so far; the serial skip
+  // rule. Callers that skip must call note_covered() to keep the counts.
+  bool covered(net::Ipv4Addr target) const;
+  void note_covered() { ++out_.targets_covered; }
+
+  // Merges one session result (counts the target as traced).
+  void add(const core::SessionResult& result);
+
+  // Builds the final observations. The accumulator is spent afterwards.
+  // wire_probes is left 0 — the caller owns the wire engine and fills it in.
+  VantageObservations finalize();
+
+ private:
+  VantageObservations out_;
+  std::map<net::Prefix, core::ObservedSubnet> by_prefix_;
 };
 
 // Runs a full campaign: one tracenet session per (not-yet-covered) target.

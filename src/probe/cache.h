@@ -22,8 +22,13 @@ class CachingProbeEngine final : public ProbeEngine {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
 
-  // Forget everything; called between hops/subnets if staleness is a concern.
-  void clear() { cache_.clear(); }
+  // Forget everything, hit/miss counters included, so per-phase statistics
+  // read between clears agree with the MetricsRegistry's per-phase counters.
+  void clear() {
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
 
  private:
   struct Key {

@@ -8,6 +8,7 @@
 //   * CachingProbeEngine / RetryingProbeEngine — stacking decorators
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "net/ipv4.h"
@@ -25,7 +26,7 @@ class ProbeEngine {
 
   // Issues one probe and blocks until a reply or a definitive silence.
   net::ProbeReply probe(const net::Probe& request) {
-    ++issued_;
+    issued_.fetch_add(1, std::memory_order_relaxed);
     return do_probe(request);
   }
 
@@ -54,14 +55,35 @@ class ProbeEngine {
   }
 
   // Probes issued through *this* engine (a caching decorator counts logical
-  // requests here while its inner engine counts wire probes).
-  std::uint64_t probes_issued() const noexcept { return issued_; }
-  void reset_probes_issued() noexcept { issued_ = 0; }
+  // requests here while its inner engine counts wire probes). The counter is
+  // a relaxed atomic so one engine may sit below several campaign workers.
+  std::uint64_t probes_issued() const noexcept {
+    return issued_.load(std::memory_order_relaxed);
+  }
+  void reset_probes_issued() noexcept {
+    issued_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   virtual net::ProbeReply do_probe(const net::Probe& request) = 0;
 
-  std::uint64_t issued_ = 0;
+  std::atomic<std::uint64_t> issued_{0};
+};
+
+// Pass-through decorator: adds no behaviour, only a probes_issued() scope.
+// A campaign worker wraps the shared engine stack in one of these so
+// per-session probe accounting stays local to the worker while the actual
+// probing funnels into shared machinery.
+class ForwardingProbeEngine final : public ProbeEngine {
+ public:
+  explicit ForwardingProbeEngine(ProbeEngine& inner) noexcept : inner_(inner) {}
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    return inner_.probe(request);
+  }
+
+  ProbeEngine& inner_;
 };
 
 }  // namespace tn::probe

@@ -1,0 +1,101 @@
+// SharedCachingProbeEngine: thread-safe cross-session reply memoization.
+//
+// CachingProbeEngine deduplicates probes *within* one session (the paper's
+// merged-heuristic optimization, §3.5). When a campaign fans sessions out
+// over a worker pool, most redundancy is *across* sessions instead: every
+// trace toward the same ISP re-walks the same first hops and re-tests the
+// same infrastructure subnets (the observation behind Doubletree's shared
+// stop set). This decorator is the campaign-wide analogue: one
+// (target, flow, ttl, protocol) -> reply table shared by all workers,
+// sharded by key hash so concurrent sessions rarely contend on one mutex.
+//
+// Replies are assumed stable for the lifetime of the campaign — the same
+// trade Doubletree makes; clear() drops everything between campaigns.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "probe/engine.h"
+
+namespace tn::probe {
+
+class SharedCachingProbeEngine final : public ProbeEngine {
+ public:
+  explicit SharedCachingProbeEngine(ProbeEngine& inner) noexcept
+      : inner_(inner) {}
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  // Forget everything, counters included. Only meaningful while no worker is
+  // probing (between campaigns).
+  void clear() {
+    for (Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.replies.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Key {
+    std::uint32_t target;
+    std::uint16_t flow_id;
+    std::uint8_t ttl;
+    std::uint8_t protocol;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.target) << 32) |
+          (static_cast<std::uint64_t>(k.flow_id) << 16) |
+          (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol);
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, net::ProbeReply, KeyHash> replies;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    const Key key{request.target.value(), request.flow_id, request.ttl,
+                  static_cast<std::uint8_t>(request.protocol)};
+    Shard& shard = shards_[KeyHash{}(key) % kShards];
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.replies.find(key);
+      if (it != shard.replies.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    // Probe outside the shard lock: the wire blocks (pacing, simulator
+    // mutex) and holding a shard hostage meanwhile would serialize every
+    // worker hashing into it. Two workers racing on one key probe twice and
+    // agree on whichever reply lands last — identical on stable networks.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    const net::ProbeReply reply = inner_.probe(request);
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.replies.insert_or_assign(key, reply);
+    }
+    return reply;
+  }
+
+  ProbeEngine& inner_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace tn::probe

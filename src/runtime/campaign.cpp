@@ -1,0 +1,180 @@
+#include "runtime/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "probe/shared_cache.h"
+#include "probe/sim_engine.h"
+#include "runtime/pacer.h"
+#include "runtime/queue.h"
+#include "runtime/stopset.h"
+#include "util/log.h"
+
+namespace tn::runtime {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+CampaignReport CampaignRuntime::run(const std::string& vantage_name,
+                                    const std::vector<net::Ipv4Addr>& targets) {
+  MetricsRegistry& m = *metrics_;
+  Counter& wire_counter = m.counter("probe.wire");
+  Counter& sessions_counter = m.counter("runtime.sessions");
+  Counter& skips_counter = m.counter("runtime.stopset.skips");
+  Counter& fallback_counter = m.counter("runtime.fallback_sessions");
+  Counter& retries_counter = m.counter("probe.retries");
+  Histogram& latency_hist = m.histogram("session.latency_us");
+  Histogram& probes_hist = m.histogram("session.probes");
+
+  // The shared probe stack (see the header diagram).
+  probe::SimProbeEngine wire(network_, vantage_);
+  ProbePacer pacer =
+      config_.pps > 0.0 ? ProbePacer(config_.pps, config_.burst) : ProbePacer();
+  PacedProbeEngine paced(wire, pacer, &wire_counter);
+  std::optional<probe::SharedCachingProbeEngine> shared_cache;
+  probe::ProbeEngine* base = &paced;
+  if (config_.share_probe_cache) {
+    shared_cache.emplace(paced);
+    base = &*shared_cache;
+  }
+
+  TargetQueue queue(targets);
+  SharedSubnetCache subnet_cache;
+  const std::size_t count = queue.size();
+  std::vector<std::optional<core::SessionResult>> results(count);
+  std::atomic<std::uint64_t> sessions_run{0};
+  std::atomic<std::uint64_t> stop_set_skips{0};
+
+  const bool skip_targets =
+      config_.share_stop_set && config_.campaign.skip_covered_targets;
+
+  auto worker = [&]() {
+    probe::ForwardingProbeEngine local(*base);
+    core::SessionConfig session_config = config_.campaign.session;
+    if (!config_.deterministic && config_.share_stop_set) {
+      // Fast mode: Doubletree-style hop skipping against the global set.
+      session_config.covered_externally = [&subnet_cache](net::Ipv4Addr addr) {
+        return subnet_cache.covers(addr);
+      };
+    }
+    core::TracenetSession session(local, session_config);
+    std::uint64_t retries_seen = 0;
+
+    while (const auto claimed = queue.pop()) {
+      const std::size_t index = *claimed;
+      const net::Ipv4Addr target = queue.targets()[index];
+      if (skip_targets) {
+        // Deterministic mode may only take skips that hold under any worker
+        // schedule: coverage from an already-completed lower-index target
+        // (what a serial run would have merged before reaching this one).
+        const bool skip =
+            config_.deterministic
+                ? subnet_cache.stop_set().covered_by_lower(target, index)
+                : subnet_cache.covers(target);
+        if (skip) {
+          stop_set_skips.fetch_add(1, std::memory_order_relaxed);
+          skips_counter.add();
+          continue;
+        }
+      }
+
+      const auto started = std::chrono::steady_clock::now();
+      core::SessionResult result = session.run(target);
+      latency_hist.record(elapsed_us(started));
+      probes_hist.record(result.wire_probes);
+      retries_counter.add(session.retries_used() - retries_seen);
+      retries_seen = session.retries_used();
+
+      for (const core::ObservedSubnet& subnet : result.subnets)
+        subnet_cache.insert(subnet, index);
+      results[index] = std::move(result);
+      sessions_run.fetch_add(1, std::memory_order_relaxed);
+      sessions_counter.add();
+    }
+  };
+
+  const std::size_t jobs = static_cast<std::size_t>(
+      config_.jobs < 1 ? 1 : config_.jobs);
+  const std::size_t worker_count = count == 0 ? 0 : std::min(jobs, count);
+  if (worker_count <= 1) {
+    if (count > 0) worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Canonical merge: replay the serial driver's loop over the per-target
+  // results, in target order, through the exact code the serial path uses.
+  CampaignReport report;
+  eval::CampaignAccumulator acc(vantage_name, count);
+  probe::ForwardingProbeEngine merge_engine(*base);
+  std::optional<core::TracenetSession> fallback;
+  for (std::size_t index = 0; index < count; ++index) {
+    const net::Ipv4Addr target = targets[index];
+    if (config_.campaign.skip_covered_targets && acc.covered(target)) {
+      acc.note_covered();
+      continue;
+    }
+    if (!results[index]) {
+      if (!config_.deterministic) {
+        // Fast mode trusts the stop set: the covering subnet was merged from
+        // whichever worker grew it, even if the replay's serial-order map
+        // does not show the coverage yet.
+        acc.note_covered();
+        continue;
+      }
+      // The stop set skipped a target the serial order would have traced
+      // (its covering subnet came from a target the replay discards).
+      // Re-trace it now for serial-identical output.
+      if (!fallback) fallback.emplace(merge_engine, config_.campaign.session);
+      results[index] = fallback->run(target);
+      ++report.fallback_sessions;
+      fallback_counter.add();
+    }
+    acc.add(*results[index]);
+    report.sessions.push_back(std::move(*results[index]));
+  }
+
+  report.observations = acc.finalize();
+  report.observations.wire_probes = wire.probes_issued();
+  report.wire_probes = wire.probes_issued();
+  report.sessions_run = sessions_run.load(std::memory_order_relaxed);
+  report.stop_set_skips = stop_set_skips.load(std::memory_order_relaxed);
+  report.stop_set_prefixes = subnet_cache.stop_set().size();
+
+  if (shared_cache) {
+    m.counter("probe.shared_cache.hits").add(shared_cache->hits());
+    m.counter("probe.shared_cache.misses").add(shared_cache->misses());
+  }
+  m.counter("pacer.throttle_waits").add(pacer.throttle_waits());
+
+  util::log(util::LogLevel::kInfo, "runtime", vantage_name, ": ",
+            report.observations.subnets.size(), " subnets over ",
+            report.sessions_run, " sessions (", report.stop_set_skips,
+            " stop-set skips, ", report.fallback_sessions, " fallbacks, ",
+            report.wire_probes, " wire probes, jobs=", worker_count, ")");
+  return report;
+}
+
+eval::VantageObservations run_campaign_parallel(
+    sim::Network& network, sim::NodeId vantage, const std::string& vantage_name,
+    const std::vector<net::Ipv4Addr>& targets, const RuntimeConfig& config,
+    MetricsRegistry* metrics) {
+  CampaignRuntime runtime(network, vantage, config, metrics);
+  return runtime.run(vantage_name, targets).observations;
+}
+
+}  // namespace tn::runtime

@@ -1,0 +1,129 @@
+#include "runtime/metrics.h"
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+namespace tn::runtime {
+
+namespace {
+
+int bucket_of(std::uint64_t sample) noexcept {
+  return sample == 0 ? 0 : 64 - std::countl_zero(sample);
+}
+
+// Upper bound of bucket `b`: the smallest sample a larger bucket would hold.
+std::uint64_t bucket_upper(int b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+void fetch_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) noexcept {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) noexcept {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  fetch_min(min_, sample);
+  fetch_max(max_, sample);
+  buckets_[static_cast<std::size_t>(bucket_of(sample))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile, 1-based; walk buckets until it is passed.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return max();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << "counter   " << name << " " << c->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " count=" << h->count() << " sum=" << h->sum()
+       << " min=" << h->min() << " mean=" << h->mean() << " p50=~"
+       << h->quantile(0.5) << " p90=~" << h->quantile(0.9) << " max="
+       << h->max() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h->count() << ",\"sum\":"
+       << h->sum() << ",\"min\":" << h->min() << ",\"mean\":" << h->mean()
+       << ",\"p50\":" << h->quantile(0.5) << ",\"p90\":" << h->quantile(0.9)
+       << ",\"max\":" << h->max() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace tn::runtime

@@ -1,0 +1,96 @@
+// MetricsRegistry: named atomic counters and histograms for the campaign
+// runtime.
+//
+// The serial pipeline surfaces its statistics through ad-hoc per-object
+// accessors (ProbeEngine::probes_issued, CachingProbeEngine::hits, ...).
+// Once several workers share one engine stack those numbers interleave, so
+// the runtime publishes everything through one registry of lock-free
+// instruments instead: counters are single atomic adds, histograms are
+// power-of-two bucketed atomic arrays. Registration is mutex-protected (it
+// happens a handful of times at startup); recording is wait-free.
+//
+// Dumps are available as aligned text (for the CLI's --metrics flag and the
+// campaign report) and as a single-line JSON object (for benches and
+// downstream tooling).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tn::runtime {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Histogram of non-negative integer samples (latencies in microseconds,
+// probe counts, ...) over power-of-two buckets: bucket b holds samples in
+// [2^(b-1), 2^b) with bucket 0 holding the zeros. Quantiles are therefore
+// accurate to a factor of two — plenty for "did pacing bite" / "how skewed
+// are session latencies" questions — while record() stays two relaxed adds.
+class Histogram {
+ public:
+  void record(std::uint64_t sample) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept;  // 0 when empty
+  std::uint64_t max() const noexcept;  // 0 when empty
+  double mean() const noexcept;
+
+  // Upper bound of the bucket holding the q-quantile (q in [0, 1]).
+  std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  static constexpr int kBuckets = 65;  // zeros + one per bit of the sample
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // "counter probe.wire 1234" / "histogram session.latency_us count=..."
+  // lines, sorted by name.
+  std::string to_text() const;
+
+  // {"counters":{...},"histograms":{"name":{"count":...,...}}}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tn::runtime

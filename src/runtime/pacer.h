@@ -1,0 +1,104 @@
+// ProbePacer: wall-clock token bucket bounding the aggregate probe rate.
+//
+// The simulator's sim::RateLimiter models a *router* suppressing replies on
+// virtual time; this is its sender-side cousin, shared by every worker of a
+// campaign so the whole process never exceeds the configured probes/second
+// however many threads are probing (the politeness knob a distributed
+// deployment needs — cf. Donnet et al.'s Doubletree deployment, which paces
+// precisely because redundancy elimination concentrates probes at the
+// source).
+//
+// acquire() blocks the calling worker until a token is available; refills
+// accrue continuously so the long-run rate converges to `pps` with bursts of
+// up to `burst` back-to-back probes after idle periods.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "probe/engine.h"
+#include "runtime/metrics.h"
+
+namespace tn::runtime {
+
+class ProbePacer {
+ public:
+  // A default-constructed pacer admits everything immediately.
+  ProbePacer() = default;
+
+  // Sustained `pps` probes per second, bursts up to `burst`.
+  explicit ProbePacer(double pps, double burst = 8.0) noexcept
+      : rate_(pps > 0.0 ? pps : 0.0),
+        burst_(burst < 1.0 ? 1.0 : burst),
+        tokens_(burst < 1.0 ? 1.0 : burst),
+        enabled_(pps > 0.0) {}
+
+  bool enabled() const noexcept { return enabled_; }
+
+  // Blocks until one probe may be sent. Throttle waits are counted so the
+  // metrics can answer "did the pacer actually bite".
+  void acquire() {
+    if (!enabled_) return;
+    for (;;) {
+      std::chrono::duration<double> shortfall{};
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto now = Clock::now();
+        if (last_.time_since_epoch().count() != 0) {
+          tokens_ += std::chrono::duration<double>(now - last_).count() * rate_;
+          if (tokens_ > burst_) tokens_ = burst_;
+        }
+        last_ = now;
+        if (tokens_ >= 1.0) {
+          tokens_ -= 1.0;
+          return;
+        }
+        shortfall = std::chrono::duration<double>((1.0 - tokens_) / rate_);
+      }
+      throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(shortfall);
+    }
+  }
+
+  std::uint64_t throttle_waits() const noexcept {
+    return throttle_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::mutex mutex_;
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Clock::time_point last_{};
+  bool enabled_ = false;
+  std::atomic<std::uint64_t> throttle_waits_{0};
+};
+
+// Decorator applying a (shared) pacer to every probe crossing it. Sits
+// directly above the wire engine so cache hits and skipped work are never
+// charged against the budget; its own probes_issued() counts paced probes.
+class PacedProbeEngine final : public probe::ProbeEngine {
+ public:
+  // `wire_counter`, when given, mirrors the paced probe count into a
+  // metrics registry counter.
+  PacedProbeEngine(probe::ProbeEngine& inner, ProbePacer& pacer,
+                   Counter* wire_counter = nullptr) noexcept
+      : inner_(inner), pacer_(pacer), wire_counter_(wire_counter) {}
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    pacer_.acquire();
+    if (wire_counter_ != nullptr) wire_counter_->add();
+    return inner_.probe(request);
+  }
+
+  probe::ProbeEngine& inner_;
+  ProbePacer& pacer_;
+  Counter* wire_counter_;
+};
+
+}  // namespace tn::runtime

@@ -1,0 +1,50 @@
+// TargetQueue: the campaign's shared work queue.
+//
+// Targets are immutable and known up front, so "stealing" needs no deques:
+// one atomic cursor over the target vector hands each worker the next
+// not-yet-claimed index in original order. Claiming in index order matters
+// beyond fairness — the deterministic runtime's dispatch-skip rule reasons
+// about "targets of lower index", and an in-order cursor keeps the window
+// of in-flight lower-index targets as small as possible (maximizing
+// provably-safe skips).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace tn::runtime {
+
+class TargetQueue {
+ public:
+  explicit TargetQueue(std::vector<net::Ipv4Addr> targets)
+      : targets_(std::move(targets)) {}
+
+  // Claims the next target; std::nullopt when drained. Wait-free.
+  std::optional<std::size_t> pop() noexcept {
+    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= targets_.size()) return std::nullopt;
+    return index;
+  }
+
+  const std::vector<net::Ipv4Addr>& targets() const noexcept {
+    return targets_;
+  }
+  std::size_t size() const noexcept { return targets_.size(); }
+
+  // Indices claimed so far (may overshoot size() once drained).
+  std::size_t claimed() const noexcept {
+    const std::size_t n = next_.load(std::memory_order_relaxed);
+    return n < targets_.size() ? n : targets_.size();
+  }
+
+ private:
+  std::vector<net::Ipv4Addr> targets_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace tn::runtime

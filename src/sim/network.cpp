@@ -1,5 +1,8 @@
 #include "sim/network.h"
 
+#include <chrono>
+#include <thread>
+
 namespace tn::sim {
 
 namespace {
@@ -15,25 +18,37 @@ std::uint64_t mix(std::uint64_t seed) noexcept {
 
 net::ProbeReply Network::count(net::ProbeReply reply) {
   switch (reply.type) {
-    case net::ResponseType::kNone: ++stats_.silent; break;
-    case net::ResponseType::kEchoReply: ++stats_.echo_replies; break;
-    case net::ResponseType::kTtlExceeded: ++stats_.ttl_exceeded; break;
+    case net::ResponseType::kNone:
+      silent_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case net::ResponseType::kEchoReply:
+      echo_replies_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case net::ResponseType::kTtlExceeded:
+      ttl_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case net::ResponseType::kPortUnreachable:
-    case net::ResponseType::kHostUnreachable: ++stats_.unreachable; break;
-    case net::ResponseType::kTcpReset: ++stats_.tcp_resets; break;
+    case net::ResponseType::kHostUnreachable:
+      unreachable_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case net::ResponseType::kTcpReset:
+      tcp_resets_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   return reply;
 }
 
 void Network::set_rate_limiter(NodeId node, RateLimiter limiter) {
+  const std::lock_guard<std::mutex> lock(limiter_mutex_);
   limiters_[node] = limiter;
 }
 
-bool Network::admit_response(NodeId node) {
+bool Network::admit_response(NodeId node, const ProbeSlot& slot) {
+  const std::lock_guard<std::mutex> lock(limiter_mutex_);
   const auto it = limiters_.find(node);
   if (it == limiters_.end()) return true;
-  if (it->second.allow(now_us_)) return true;
-  ++stats_.rate_limited;
+  if (it->second.allow(slot.now_us)) return true;
+  rate_limited_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -75,21 +90,23 @@ net::Ipv4Addr Network::reply_source(NodeId node_id, ResponsePolicy policy,
 net::ProbeReply Network::respond_direct(NodeId node_id, const net::Probe& probe,
                                         InterfaceId target_iface,
                                         InterfaceId incoming_iface,
-                                        SubnetId origin_subnet) {
+                                        SubnetId origin_subnet,
+                                        const ProbeSlot& slot) {
   const Interface& target = topology_.interface(target_iface);
   if (!target.responsive) return count(net::ProbeReply::none());
   if (target.flakiness > 0.0) {
-    // Deterministic per-probe drop: same run -> same outcome; different
-    // probe schedule -> different drop pattern.
+    // Deterministic per-probe drop keyed off the injection sequence number:
+    // same run -> same outcome; different probe schedule -> different drop
+    // pattern.
     const std::uint64_t roll = mix(
-        (static_cast<std::uint64_t>(target_iface) << 32) ^ stats_.probes_injected);
+        (static_cast<std::uint64_t>(target_iface) << 32) ^ slot.sequence);
     if (static_cast<double>(roll >> 11) * 0x1.0p-53 < target.flakiness)
       return count(net::ProbeReply::none());
   }
   const ResponseConfig& config =
       topology_.node(node_id).config_for(probe.protocol);
   if (config.direct == ResponsePolicy::kNil) return count(net::ProbeReply::none());
-  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+  if (!admit_response(node_id, slot)) return count(net::ProbeReply::none());
 
   const net::Ipv4Addr source =
       reply_source(node_id, config.direct, target_iface, incoming_iface,
@@ -107,12 +124,13 @@ net::ProbeReply Network::respond_direct(NodeId node_id, const net::Probe& probe,
 
 net::ProbeReply Network::respond_indirect(NodeId node_id, const net::Probe& probe,
                                           InterfaceId incoming_iface,
-                                          SubnetId origin_subnet) {
+                                          SubnetId origin_subnet,
+                                          const ProbeSlot& slot) {
   const ResponseConfig& config =
       topology_.node(node_id).config_for(probe.protocol);
   if (config.indirect == ResponsePolicy::kNil)
     return count(net::ProbeReply::none());
-  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+  if (!admit_response(node_id, slot)) return count(net::ProbeReply::none());
 
   const net::Ipv4Addr source =
       reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
@@ -123,14 +141,15 @@ net::ProbeReply Network::respond_indirect(NodeId node_id, const net::Probe& prob
 
 net::ProbeReply Network::arp_fail(NodeId node_id, const net::Probe& probe,
                                   InterfaceId incoming_iface,
-                                  SubnetId origin_subnet, const Subnet& lan) {
+                                  SubnetId origin_subnet, const Subnet& lan,
+                                  const ProbeSlot& slot) {
   if (lan.arp_fail == ArpFailBehavior::kSilent)
     return count(net::ProbeReply::none());
   const ResponseConfig& config =
       topology_.node(node_id).config_for(probe.protocol);
   if (config.indirect == ResponsePolicy::kNil)
     return count(net::ProbeReply::none());
-  if (!admit_response(node_id)) return count(net::ProbeReply::none());
+  if (!admit_response(node_id, slot)) return count(net::ProbeReply::none());
   const net::Ipv4Addr source =
       reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
                    origin_subnet, config.default_interface);
@@ -145,7 +164,11 @@ std::optional<RoutingTable::NextHop> Network::pick_next_hop(
   if (hops.size() == 1) return hops.front();
 
   if (topology_.per_packet_load_balancing(node_id)) {
-    const std::uint32_t turn = round_robin_[node_id]++;
+    std::uint32_t turn;
+    {
+      const std::lock_guard<std::mutex> lock(round_robin_mutex_);
+      turn = round_robin_[node_id]++;
+    }
     return hops[turn % hops.size()];
   }
   // Per-flow: a stable hash of (this router, flow selector, flow id,
@@ -163,8 +186,22 @@ std::optional<RoutingTable::NextHop> Network::pick_next_hop(
 }
 
 net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
-  now_us_ += config_.inter_probe_gap_us;
-  ++stats_.probes_injected;
+  const net::ProbeReply reply = walk_probe(origin, probe);
+  if (config_.wall_rtt_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.wall_rtt_us));
+  return reply;
+}
+
+net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
+  // Claim this probe's virtual-clock slot and sequence number up front; the
+  // walk itself runs lock-free against the immutable topology (concurrent
+  // send_probe contract in the header).
+  ProbeSlot slot;
+  slot.now_us = now_us_.fetch_add(config_.inter_probe_gap_us,
+                                  std::memory_order_relaxed) +
+                config_.inter_probe_gap_us;
+  slot.sequence =
+      probes_injected_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   const Node& origin_node = topology_.node(origin);
   if (origin_node.interfaces.empty()) return count(net::ProbeReply::none());
@@ -190,7 +227,7 @@ net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
       if (topology_.subnet(topology_.interface(*target_iface).subnet).firewalled)
         return count(net::ProbeReply::none());
       return respond_direct(current, probe, *target_iface, incoming,
-                            origin_subnet);
+                            origin_subnet, slot);
     }
 
     const Node& node = topology_.node(current);
@@ -200,14 +237,16 @@ net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
     // Forwarding: routers decrement TTL; the originator does not.
     if (current != origin) {
       --ttl;
-      if (ttl <= 0) return respond_indirect(current, probe, incoming, origin_subnet);
+      if (ttl <= 0)
+        return respond_indirect(current, probe, incoming, origin_subnet, slot);
     }
 
     if (const auto local = topology_.interface_on(current, *target_subnet)) {
       // Final LAN: deliver to the owner across the subnet, or fail "ARP".
       const Subnet& lan = topology_.subnet(*target_subnet);
       if (lan.firewalled) return count(net::ProbeReply::none());
-      if (!target_iface) return arp_fail(current, probe, incoming, origin_subnet, lan);
+      if (!target_iface)
+        return arp_fail(current, probe, incoming, origin_subnet, lan, slot);
       current = topology_.interface(*target_iface).node;
       incoming = *target_iface;
       continue;

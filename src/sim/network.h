@@ -16,8 +16,11 @@
 // per-packet (round-robin) per node, reproducing §3.7's path fluctuations.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
 #include "net/packet.h"
 #include "sim/ratelimit.h"
@@ -41,6 +44,14 @@ struct NetworkConfig {
   // Virtual time advanced per injected probe; drives rate limiters.
   std::uint64_t inter_probe_gap_us = 1000;
   int max_hops = 64;  // forwarding loop guard
+  // Emulated round-trip time: every send_probe call blocks the caller for
+  // this long (wall clock) before returning its reply, exactly like a live
+  // blocking probe engine. 0 (the default) keeps the simulator instant.
+  // Replies are unaffected, so determinism is untouched; the sleep happens
+  // outside every lock, so concurrent workers overlap their waits — this is
+  // what makes the parallel runtime's wall-clock speedup measurable on the
+  // simulator (live probing is RTT-bound, not CPU-bound).
+  std::uint64_t wall_rtt_us = 0;
 };
 
 struct NetworkStats {
@@ -55,37 +66,94 @@ struct NetworkStats {
 
 class Network {
  public:
+  // The routing cache is sized to the whole topology so concurrent walks
+  // can hold references to distance vectors without eviction races (see
+  // RoutingTable::distances_for).
   explicit Network(const Topology& topology, NetworkConfig config = {})
-      : topology_(topology), routing_(topology), config_(config) {}
+      : topology_(topology),
+        routing_(topology,
+                 std::max<std::size_t>(128, topology.subnet_count())),
+        config_(config) {}
 
   // Injects `probe` from `origin` (a host or router in the topology) and
   // returns the reply the origin would eventually observe (kNone = silence).
   // This is the only way traffic enters the simulator.
+  //
+  // Safe to call from several campaign workers at once; forwarding walks
+  // proceed in parallel. Each probe atomically claims a slot on the virtual
+  // clock and a global sequence number at injection, so the clock-driven
+  // state (rate limiters, flakiness draws, per-packet round-robin) observes
+  // a single consistent probe order — serial callers see exactly the
+  // historical behavior, while the order among racing probes is an
+  // arbitrary arbitration, as at a real router. On topologies whose replies
+  // are pure functions of the probe — no flakiness, rate limiting or
+  // per-packet load balancing — replies are independent of that order,
+  // which is what the runtime's determinism contract builds on.
   net::ProbeReply send_probe(NodeId origin, const net::Probe& probe);
+
+ private:
+  // The forwarding walk proper; send_probe adds the optional emulated RTT.
+  net::ProbeReply walk_probe(NodeId origin, const net::Probe& probe);
+
+ public:
 
   // Installs a response rate limiter on one node.
   void set_rate_limiter(NodeId node, RateLimiter limiter);
 
   // Test hook: invoked before each forwarding decision; lets tests flip links
   // or configs mid-walk to create §3.7 route changes. Cleared with {}.
+  // Serial-only: install before probing and do not combine with concurrent
+  // send_probe callers.
   using StepHook = std::function<void(NodeId current, const net::Probe&)>;
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
 
-  const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
-  std::uint64_t now_us() const noexcept { return now_us_; }
+  // Counters are relaxed atomics: safe to read at any time, exact once
+  // concurrent send_probe callers have joined.
+  NetworkStats stats() const noexcept {
+    NetworkStats out;
+    out.probes_injected = probes_injected_.load(std::memory_order_relaxed);
+    out.echo_replies = echo_replies_.load(std::memory_order_relaxed);
+    out.ttl_exceeded = ttl_exceeded_.load(std::memory_order_relaxed);
+    out.unreachable = unreachable_.load(std::memory_order_relaxed);
+    out.tcp_resets = tcp_resets_.load(std::memory_order_relaxed);
+    out.silent = silent_.load(std::memory_order_relaxed);
+    out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void reset_stats() noexcept {
+    probes_injected_.store(0, std::memory_order_relaxed);
+    echo_replies_.store(0, std::memory_order_relaxed);
+    ttl_exceeded_.store(0, std::memory_order_relaxed);
+    unreachable_.store(0, std::memory_order_relaxed);
+    tcp_resets_.store(0, std::memory_order_relaxed);
+    silent_.store(0, std::memory_order_relaxed);
+    rate_limited_.store(0, std::memory_order_relaxed);
+  }
+  std::uint64_t now_us() const noexcept {
+    return now_us_.load(std::memory_order_relaxed);
+  }
   const RoutingTable& routing() const noexcept { return routing_; }
 
  private:
+  // The virtual-clock slot and global sequence number one probe claimed at
+  // injection; all order-dependent draws key off these, not off shared
+  // mutable state, so walks can run concurrently.
+  struct ProbeSlot {
+    std::uint64_t now_us = 0;
+    std::uint64_t sequence = 0;
+  };
+
   net::ProbeReply respond_direct(NodeId node, const net::Probe& probe,
                                  InterfaceId target_iface,
-                                 InterfaceId incoming_iface, SubnetId origin_subnet);
+                                 InterfaceId incoming_iface,
+                                 SubnetId origin_subnet, const ProbeSlot& slot);
   net::ProbeReply respond_indirect(NodeId node, const net::Probe& probe,
                                    InterfaceId incoming_iface,
-                                   SubnetId origin_subnet);
+                                   SubnetId origin_subnet,
+                                   const ProbeSlot& slot);
   net::ProbeReply arp_fail(NodeId node, const net::Probe& probe,
                            InterfaceId incoming_iface, SubnetId origin_subnet,
-                           const Subnet& lan);
+                           const Subnet& lan, const ProbeSlot& slot);
 
   // Resolves the source address of a reply per `policy`; kInvalidId-free
   // result of unset means "suppress the reply".
@@ -93,7 +161,7 @@ class Network {
                              InterfaceId probed_iface, InterfaceId incoming_iface,
                              SubnetId origin_subnet, InterfaceId default_iface);
 
-  bool admit_response(NodeId node);
+  bool admit_response(NodeId node, const ProbeSlot& slot);
 
   std::optional<RoutingTable::NextHop> pick_next_hop(NodeId node,
                                                      const net::Probe& probe,
@@ -104,9 +172,24 @@ class Network {
   const Topology& topology_;
   RoutingTable routing_;
   NetworkConfig config_;
-  NetworkStats stats_;
-  std::uint64_t now_us_ = 0;
+
+  // Statistics: relaxed atomics, incremented from concurrent walks.
+  std::atomic<std::uint64_t> probes_injected_{0};
+  std::atomic<std::uint64_t> echo_replies_{0};
+  std::atomic<std::uint64_t> ttl_exceeded_{0};
+  std::atomic<std::uint64_t> unreachable_{0};
+  std::atomic<std::uint64_t> tcp_resets_{0};
+  std::atomic<std::uint64_t> silent_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+
+  std::atomic<std::uint64_t> now_us_{0};
+
+  // Token buckets and round-robin cursors are the only per-node mutable
+  // state; both are rare on the probe path (rate-limited routers, per-packet
+  // balancers) so one small mutex each is plenty.
+  std::mutex limiter_mutex_;
   std::unordered_map<NodeId, RateLimiter> limiters_;
+  std::mutex round_robin_mutex_;
   std::unordered_map<NodeId, std::uint32_t> round_robin_;
   StepHook step_hook_;
 };

@@ -25,9 +25,14 @@ class RateLimiter {
   // the response may be sent.
   bool allow(std::uint64_t now_us) noexcept {
     if (!enabled_) return true;
+    // Concurrent probes may present clock slots out of order; a slot older
+    // than the last one seen earns no refill (it must not underflow into a
+    // full bucket). Serial callers are always monotonic.
     const double elapsed_s =
-        static_cast<double>(now_us - last_us_) / 1'000'000.0;
-    last_us_ = now_us;
+        now_us > last_us_
+            ? static_cast<double>(now_us - last_us_) / 1'000'000.0
+            : 0.0;
+    if (now_us > last_us_) last_us_ = now_us;
     tokens_ = tokens_ + elapsed_s * rate_;
     if (tokens_ > burst_) tokens_ = burst_;
     if (tokens_ < 1.0) return false;

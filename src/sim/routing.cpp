@@ -46,16 +46,36 @@ InterfaceId RoutingTable::shortest_path_egress(NodeId from,
 
 const RoutingTable::DistanceVector& RoutingTable::distances_for(
     SubnetId target) const {
-  if (cached_version_ != topology_.version()) {
-    lru_.clear();
-    index_.clear();
-    cached_version_ = topology_.version();
-  }
-  if (const auto hit = index_.find(target); hit != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
-    return hit->second->second;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cached_version_ != topology_.version()) {
+      lru_.clear();
+      index_.clear();
+      cached_version_ = topology_.version();
+    } else if (const auto hit = index_.find(target); hit != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
+      return hit->second->second;
+    }
   }
 
+  // Miss: compute outside the lock (racing threads may duplicate the work;
+  // the first insert wins and the copies agree, BFS being pure).
+  DistanceVector dist = compute_distances(target);
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (const auto hit = index_.find(target); hit != index_.end())
+    return hit->second->second;
+  lru_.emplace_front(target, std::move(dist));
+  index_[target] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+RoutingTable::DistanceVector RoutingTable::compute_distances(
+    SubnetId target) const {
   // Reverse BFS from the target subnet over the bipartite node <-> LAN
   // structure. dist[n] = router hops from n to the subnet (0 if attached).
   // A node u relaxes its LAN peers only if u can forward transit traffic
@@ -87,14 +107,7 @@ const RoutingTable::DistanceVector& RoutingTable::distances_for(
       }
     }
   }
-
-  lru_.emplace_front(target, std::move(dist));
-  index_[target] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
-  return lru_.front().second;
+  return dist;
 }
 
 }  // namespace tn::sim

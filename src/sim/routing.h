@@ -14,6 +14,7 @@
 #pragma once
 
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,12 +54,22 @@ class RoutingTable {
   // Distances of every node to one target subnet.
   using DistanceVector = std::vector<int>;
 
+  // Thread-safe: the cache is guarded by an internal mutex and the BFS runs
+  // outside it (pure topology read). Returned references point into list
+  // nodes, which stay stable across inserts and recency splices — they are
+  // invalidated only by eviction or a topology-version flush. Concurrent
+  // callers must therefore size `cache_capacity` to cover every subnet they
+  // will query (Network does) and must not mutate the topology while
+  // queries are in flight; smaller capacities remain fine serially.
   const DistanceVector& distances_for(SubnetId target) const;
+
+  DistanceVector compute_distances(SubnetId target) const;
 
   const Topology& topology_;
   std::size_t capacity_;
 
   // LRU cache: list holds (subnet, distances) in recency order.
+  mutable std::mutex cache_mutex_;
   mutable std::list<std::pair<SubnetId, DistanceVector>> lru_;
   mutable std::unordered_map<SubnetId, decltype(lru_)::iterator> index_;
   mutable std::uint64_t cached_version_ = ~0ULL;

@@ -1,11 +1,14 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tn::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Relaxed atomic: worker threads consult the level on every probe while the
+// main thread may (re)set it; no ordering is needed, just tear-freedom.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -20,9 +23,13 @@ const char* level_name(LogLevel level) noexcept {
 }
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (!log_enabled(level)) return;

@@ -1,0 +1,88 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tn::runtime {
+namespace {
+
+TEST(Metrics, CounterAddsAndReads) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("probe.wire");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument.
+  EXPECT_EQ(registry.counter("probe.wire").value(), 42u);
+}
+
+TEST(Metrics, HistogramTracksMoments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Power-of-two buckets: quantiles are upper bucket bounds, accurate to 2x.
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, 127u);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(Metrics, HistogramZeroBucket) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(Metrics, ConcurrentRecordingIsLossless) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+  Histogram& h = registry.histogram("latency");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(i);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.max(), kPerThread - 1);
+}
+
+TEST(Metrics, TextAndJsonDumps) {
+  MetricsRegistry registry;
+  registry.counter("runtime.sessions").add(3);
+  registry.histogram("session.latency_us").record(1000);
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("counter   runtime.sessions 3"), std::string::npos);
+  EXPECT_NE(text.find("histogram session.latency_us"), std::string::npos);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"runtime.sessions\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"session.latency_us\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace tn::runtime

@@ -1,0 +1,56 @@
+#include "runtime/pacer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "probe/sim_engine.h"
+#include "testutil.h"
+
+namespace tn::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(Pacer, DisabledAdmitsImmediately) {
+  ProbePacer pacer;
+  EXPECT_FALSE(pacer.enabled());
+  const auto start = Clock::now();
+  for (int i = 0; i < 10'000; ++i) pacer.acquire();
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(1));
+  EXPECT_EQ(pacer.throttle_waits(), 0u);
+}
+
+TEST(Pacer, BurstGoesThroughUnthrottled) {
+  ProbePacer pacer(10.0, /*burst=*/4.0);
+  const auto start = Clock::now();
+  for (int i = 0; i < 4; ++i) pacer.acquire();  // spends the initial burst
+  EXPECT_LT(Clock::now() - start, std::chrono::milliseconds(50));
+}
+
+TEST(Pacer, ThrottlesPastTheBurst) {
+  // 200/s sustained, burst 1: three probes need >= ~10 ms of refill.
+  ProbePacer pacer(200.0, 1.0);
+  const auto start = Clock::now();
+  for (int i = 0; i < 3; ++i) pacer.acquire();
+  EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(5));
+  EXPECT_GE(pacer.throttle_waits(), 1u);
+}
+
+TEST(Pacer, PacedEngineCountsWireProbes) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  probe::SimProbeEngine wire(net, f.vantage);
+  ProbePacer pacer;  // disabled: behaviour must be a pure pass-through
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("probe.wire");
+  PacedProbeEngine paced(wire, pacer, &counter);
+  EXPECT_EQ(paced.direct(f.pivot3).type, net::ResponseType::kEchoReply);
+  paced.indirect(f.pivot3, 2);
+  EXPECT_EQ(counter.value(), 2u);
+  EXPECT_EQ(wire.probes_issued(), 2u);
+  EXPECT_EQ(paced.probes_issued(), 2u);
+}
+
+}  // namespace
+}  // namespace tn::runtime

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the full test suite once normally, then the concurrent
+# runtime tests again under ThreadSanitizer (-DTN_SANITIZE=thread).
+# Run from anywhere; builds into build/ and build-tsan/ at the repo root.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== tsan: runtime tests under ThreadSanitizer =="
+cmake -B "$repo/build-tsan" -S "$repo" -DTN_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target runtime_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+  -R 'Metrics|Pacer|SharedStopSet|SharedSubnetCache|CampaignRuntime'
+
+echo "== all checks passed =="

@@ -13,6 +13,13 @@
 //   --max-ttl N         trace depth (default 32)
 //   --retries N         re-probes on silence (default 1)
 //   --multipath         enumerate ECMP diamonds and explore every branch
+//   --jobs N            concurrent campaign runtime with N workers
+//                       (simulated single-path mode; campaign semantics:
+//                       targets covered by an observed subnet are skipped)
+//   --fast              with --jobs: eager stop-set skipping, hop-level
+//                       included; trades the determinism contract for probes
+//   --pps N             aggregate probe budget, probes/second (0 = no cap)
+//   --metrics text|json dump the runtime metrics registry after the run
 //   --csv FILE          write collected subnets as CSV
 //   --dot FILE          write the inferred router-level map as Graphviz DOT
 //   --verbose           per-hop / per-subnet diagnostics on stderr
@@ -28,6 +35,9 @@
 #include "eval/report.h"
 #include "probe/raw.h"
 #include "probe/sim_engine.h"
+#include "runtime/campaign.h"
+#include "runtime/metrics.h"
+#include "runtime/pacer.h"
 #include "sim/network.h"
 #include "topo/isp.h"
 #include "topo/reference.h"
@@ -48,6 +58,8 @@ int usage(const char* error) {
                "                    [--targets FILE] [--vantage NAME] "
                "[--protocol icmp|udp|tcp]\n"
                "                    [--max-ttl N] [--retries N] [--multipath]\n"
+               "                    [--jobs N] [--fast] [--pps N] "
+               "[--metrics text|json]\n"
                "                    [--csv FILE] [--dot FILE] [--verbose] "
                "[targets...]\n");
   return 2;
@@ -138,9 +150,10 @@ std::optional<SimWorld> make_world(const util::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Args args({"live", "multipath", "verbose"},
+  util::Args args({"live", "multipath", "verbose", "fast"},
                   {"demo", "topology", "targets", "vantage", "protocol",
-                   "max-ttl", "retries", "csv", "dot"});
+                   "max-ttl", "retries", "csv", "dot", "jobs", "pps",
+                   "metrics"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
 
@@ -150,12 +163,25 @@ int main(int argc, char** argv) {
   else if (protocol_name == "tcp") protocol = net::ProbeProtocol::kTcp;
   else if (protocol_name != "icmp") return usage("bad --protocol");
 
-  std::uint64_t max_ttl = 32, retries = 1;
+  std::uint64_t max_ttl = 32, retries = 1, jobs = 0, pps = 0;
   if (!util::parse_u64(args.option_or("max-ttl", "32"), max_ttl) ||
       max_ttl == 0 || max_ttl > 64)
     return usage("bad --max-ttl");
   if (!util::parse_u64(args.option_or("retries", "1"), retries) || retries > 8)
     return usage("bad --retries");
+  if (!util::parse_u64(args.option_or("jobs", "0"), jobs) || jobs > 256)
+    return usage("bad --jobs");
+  if (!util::parse_u64(args.option_or("pps", "0"), pps))
+    return usage("bad --pps");
+  const std::string metrics_format = args.option_or("metrics", "");
+  if (!metrics_format.empty() && metrics_format != "text" &&
+      metrics_format != "json")
+    return usage("bad --metrics (want text or json)");
+  // --jobs / --metrics / --fast engage the concurrent campaign runtime,
+  // which needs the simulated single-path pipeline.
+  const bool use_runtime = jobs > 0 || !metrics_format.empty() || args.flag("fast");
+  if (use_runtime && (args.flag("live") || args.flag("multipath")))
+    return usage("--jobs/--metrics/--fast need simulated single-path mode");
 
   // Targets: positional + --targets file.
   std::vector<net::Ipv4Addr> targets;
@@ -193,17 +219,56 @@ int main(int argc, char** argv) {
   }
   if (targets.empty()) return usage("no targets");
 
+  // Optional sender-side pacing for the serial paths; the campaign runtime
+  // paces internally via RuntimeConfig::pps.
+  std::optional<runtime::ProbePacer> pacer;
+  std::unique_ptr<probe::ProbeEngine> paced;
+  probe::ProbeEngine* active = engine.get();
+  if (pps > 0 && !use_runtime) {
+    pacer.emplace(static_cast<double>(pps));
+    paced = std::make_unique<runtime::PacedProbeEngine>(*engine, *pacer);
+    active = paced.get();
+  }
+
   // Run.
   std::vector<core::SessionResult> sessions;
   eval::VantageObservations observations;
   observations.vantage = "cli";
   observations.targets_total = targets.size();
 
-  if (args.flag("multipath")) {
+  if (use_runtime) {
+    runtime::RuntimeConfig config;
+    config.campaign.session.protocol = protocol;
+    config.campaign.session.trace.max_ttl = static_cast<int>(max_ttl);
+    config.campaign.session.retry_attempts = static_cast<int>(retries) + 1;
+    config.jobs = static_cast<int>(jobs == 0 ? 1 : jobs);
+    config.pps = static_cast<double>(pps);
+    config.deterministic = !args.flag("fast");
+    runtime::MetricsRegistry registry;
+    runtime::CampaignRuntime rt(*network, world->vantage, config, &registry);
+    runtime::CampaignReport report = rt.run("cli", targets);
+    observations = std::move(report.observations);
+    sessions = std::move(report.sessions);
+    for (const auto& session : sessions)
+      std::printf("%s\n", session.to_string().c_str());
+    std::printf("campaign: %zu subnets, %zu un-subnetized, %llu wire probes, "
+                "%zu/%zu targets traced (%zu covered), %llu stop-set skips, "
+                "%llu fallbacks\n",
+                observations.subnets.size(), observations.unsubnetized.size(),
+                static_cast<unsigned long long>(report.wire_probes),
+                observations.targets_traced, observations.targets_total,
+                observations.targets_covered,
+                static_cast<unsigned long long>(report.stop_set_skips),
+                static_cast<unsigned long long>(report.fallback_sessions));
+    if (!metrics_format.empty())
+      std::printf("%s", metrics_format == "json"
+                            ? (registry.to_json() + "\n").c_str()
+                            : registry.to_text().c_str());
+  } else if (args.flag("multipath")) {
     core::MultipathConfig config;
     config.protocol = protocol;
     config.max_ttl = static_cast<int>(max_ttl);
-    core::MultipathTracenetSession session(*engine, config);
+    core::MultipathTracenetSession session(*active, config);
     for (const net::Ipv4Addr target : targets) {
       const auto result = session.run(target);
       std::printf("multipath tracenet to %s: %zu subnets over %zu diamonds, "
@@ -221,7 +286,7 @@ int main(int argc, char** argv) {
     config.protocol = protocol;
     config.trace.max_ttl = static_cast<int>(max_ttl);
     config.retry_attempts = static_cast<int>(retries) + 1;
-    core::TracenetSession session(*engine, config);
+    core::TracenetSession session(*active, config);
     for (const net::Ipv4Addr target : targets) {
       sessions.push_back(session.run(target));
       std::printf("%s\n", sessions.back().to_string().c_str());
