@@ -1,0 +1,147 @@
+// Measures windowed asynchronous probing (docs/PROBING.md): the wall-clock
+// effect of the in-flight probe window (1/4/16/64) at jobs {1, 4}, with the
+// simulator's emulated RTT at 0 and 2000 us, on the Internet2-like
+// reference campaign. Prints a table and writes BENCH_async_probe.json.
+//
+// Live probing is RTT-bound: a serial session pays one round trip per
+// probe. A window of W overlaps up to W probes per wave, so the RTT-bound
+// wall clock should shrink by roughly the achieved wave size while the
+// subnet output stays byte-identical (the BatchProbing ctest pins that).
+// The rtt=0 rows isolate the CPU-side overhead of batching: near-zero, so
+// the window can stay on even when round trips are free.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/campaign.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tn;
+using Clock = std::chrono::steady_clock;
+
+struct Run {
+  std::uint64_t rtt_us = 0;
+  int jobs = 1;
+  int window = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;  // vs window=1 at the same (rtt, jobs)
+  std::uint64_t wire_probes = 0;
+  std::uint64_t waves = 0;
+  std::size_t subnets = 0;
+};
+
+Run run_once(const topo::ReferenceTopology& ref, std::uint64_t rtt_us,
+             int jobs, int window) {
+  sim::NetworkConfig net_config;
+  net_config.wall_rtt_us = rtt_us;
+  sim::Network net(ref.topo, net_config);
+
+  runtime::RuntimeConfig config;
+  config.jobs = jobs;
+  config.campaign.session.probe_window = window;
+  runtime::MetricsRegistry metrics;
+  runtime::CampaignRuntime campaign(net, ref.vantage, config, &metrics);
+
+  const auto start = Clock::now();
+  const runtime::CampaignReport report = campaign.run("utdallas", ref.targets);
+  const std::chrono::duration<double, std::milli> elapsed =
+      Clock::now() - start;
+
+  Run out;
+  out.rtt_us = rtt_us;
+  out.jobs = jobs;
+  out.window = window;
+  out.wall_ms = elapsed.count();
+  out.wire_probes = report.wire_probes;
+  out.waves = metrics.counter("probe.waves").value();
+  out.subnets = report.observations.subnets.size();
+  return out;
+}
+
+std::string ms(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  return buffer;
+}
+
+std::string ratio(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Windowed asynchronous probing: window ablation ==\n\n");
+
+  const topo::ReferenceTopology ref =
+      topo::internet2_like(tn::bench::kInternet2Seed);
+  std::printf("Internet2-like reference, %zu targets\n\n", ref.targets.size());
+
+  const std::vector<std::uint64_t> rtts = {0, 2000};
+  const std::vector<int> jobs_sweep = {1, 4};
+  const std::vector<int> windows = {1, 4, 16, 64};
+
+  std::vector<Run> runs;
+  for (const std::uint64_t rtt : rtts) {
+    for (const int jobs : jobs_sweep) {
+      double base = 0.0;
+      for (const int window : windows) {
+        Run run = run_once(ref, rtt, jobs, window);
+        if (window == 1) base = run.wall_ms;
+        run.speedup = run.wall_ms > 0.0 ? base / run.wall_ms : 1.0;
+        runs.push_back(run);
+      }
+    }
+  }
+
+  util::Table table({"rtt us", "jobs", "window", "wall ms", "speedup",
+                     "wire probes", "waves", "subnets"});
+  for (const Run& run : runs)
+    table.add_row({std::to_string(run.rtt_us), std::to_string(run.jobs),
+                   std::to_string(run.window), ms(run.wall_ms),
+                   ratio(run.speedup), std::to_string(run.wire_probes),
+                   std::to_string(run.waves), std::to_string(run.subnets)});
+  std::printf("%s", table.render().c_str());
+
+  const Run& serial = runs[8];   // rtt=2000, jobs=1, window=1
+  const Run& w16 = runs[10];     // rtt=2000, jobs=1, window=16
+  std::printf(
+      "\nexpected: >= 3x single-session wall clock at rtt=2000 us with\n"
+      "window 16 vs window 1 (got %.2fx). Waves trade wire probes for round\n"
+      "trips: the windowed rows probe speculatively (more wire probes) but\n"
+      "collapse thousands of sequential RTT waits into %llu waves. The\n"
+      "subnet count is identical down every column — batching never changes\n"
+      "what the heuristics decide, only when probes cross the wire.\n",
+      w16.speedup, static_cast<unsigned long long>(w16.waves));
+  (void)serial;
+
+  std::string json = "{\"bench\":\"async_probe\",\"topology\":\"internet2\""
+                     ",\"targets\":" + std::to_string(ref.targets.size()) +
+                     ",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    if (i != 0) json += ",";
+    json += "{\"rtt_us\":" + std::to_string(run.rtt_us) +
+            ",\"jobs\":" + std::to_string(run.jobs) +
+            ",\"window\":" + std::to_string(run.window) +
+            ",\"wall_ms\":" + ms(run.wall_ms) +
+            ",\"speedup\":" + ms(run.speedup) +
+            ",\"wire_probes\":" + std::to_string(run.wire_probes) +
+            ",\"waves\":" + std::to_string(run.waves) +
+            ",\"subnets\":" + std::to_string(run.subnets) + "}";
+  }
+  json += "]}";
+  if (std::FILE* f = std::fopen("BENCH_async_probe.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_async_probe.json\n");
+  }
+  return 0;
+}

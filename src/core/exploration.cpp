@@ -1,8 +1,11 @@
 #include "core/exploration.h"
 
+#include <algorithm>
 #include <bit>
 #include <set>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "util/log.h"
 
@@ -38,12 +41,26 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
   std::set<net::Ipv4Addr> members{ctx.pivot};
   std::unordered_set<std::uint32_t> examined{ctx.pivot.value()};
   StopReason stop = StopReason::kPrefixFloor;
+  const int window = config_.probe_window < 1 ? 1 : config_.probe_window;
 
   // Algorithm 1's outer loop: temporary subnets /31, /30, ... around the
   // pivot.
   for (int m = 31; m >= config_.min_prefix_length; --m) {
     const net::Prefix level = net::Prefix::covering(ctx.pivot, m);
     bool shrunk = false;
+
+    if (window > 1) {
+      // Prescan the whole level with overlapped waves; the serial walk below
+      // then consumes the replies in address order out of the probe cache.
+      std::vector<net::Ipv4Addr> candidates;
+      candidates.reserve(static_cast<std::size_t>(level.size()));
+      for (std::uint64_t index = 0; index < level.size(); ++index) {
+        const net::Ipv4Addr candidate = level.at(index);
+        if (!examined.contains(candidate.value()))
+          candidates.push_back(candidate);
+      }
+      prescan(candidates, ctx);
+    }
 
     for (std::uint64_t index = 0; index < level.size(); ++index) {
       const net::Ipv4Addr candidate = level.at(index);
@@ -188,6 +205,42 @@ SubnetExplorer::Verdict SubnetExplorer::test_candidate(net::Ipv4Addr l,
   }
 
   return Verdict::kAdd;
+}
+
+void SubnetExplorer::prescan(const std::vector<net::Ipv4Addr>& candidates,
+                             const Context& ctx) {
+  // One speculative wave per level: every probe the serial walk can charge a
+  // candidate whose heuristic chain stays inside the level — H2's <l, jh>,
+  // the shared H3/H6 probe <l, jh-1>, and the H4/H5 confidence probe
+  // <l, jh-2>. The mate probes (H7 at jh, H8 at jh-1, and the mate30
+  // fallbacks at both) resolve against the same wave through the probe
+  // cache, because a candidate's mates lie inside the level for /30 and
+  // wider. Speculation trades wire probes for waves: at RTT-bound timing a
+  // wave costs one round trip however many probes it carries, and the probe
+  // cache already deduplicates anything an earlier level paid for.
+  std::vector<net::Probe> wave;
+  wave.reserve(candidates.size() * 3);
+  auto queue = [&](net::Ipv4Addr target, int ttl) {
+    if (ttl < 1) return;
+    net::Probe probe;
+    probe.target = target;
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    probe.protocol = config_.protocol;
+    probe.flow_id = config_.flow_id;
+    wave.push_back(probe);
+  };
+  for (const net::Ipv4Addr l : candidates) {
+    queue(l, ctx.jh);
+    queue(l, ctx.jh - 1);
+    queue(l, ctx.jh - 2);
+  }
+  const std::size_t window =
+      static_cast<std::size_t>(config_.probe_window < 1 ? 1
+                                                        : config_.probe_window);
+  for (std::size_t begin = 0; begin < wave.size(); begin += window) {
+    const std::size_t count = std::min(window, wave.size() - begin);
+    engine_.probe_batch(std::span<const net::Probe>(wave).subspan(begin, count));
+  }
 }
 
 bool SubnetExplorer::far_fringe_check(net::Ipv4Addr l, const Context& ctx) {

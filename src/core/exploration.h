@@ -36,6 +36,17 @@ struct ExplorerConfig {
   bool h6_enabled = true;
   // H8 on: close-fringe detection. Ablation knob.
   bool h8_enabled = true;
+  // In-flight probe window: with a window of W each growth level is
+  // *prescanned* by overlapped waves of up to W probes — <l, jh>, <l, jh-1>
+  // and <l, jh-2> for every unexamined candidate of the level — before the
+  // unchanged serial walk consumes the replies in address order out of the
+  // probe cache. The heuristic chain therefore fires identically to
+  // window 1; a wave may merely probe candidates past a mid-level stop or at
+  // depths the walk never asks for (extra wire probes, never different
+  // subnets). Needs a caching engine above the wire to pay off; without one
+  // the prescan probes are simply re-issued. 1 (the default) is the strictly
+  // sequential historical behavior.
+  int probe_window = 1;
 };
 
 class SubnetExplorer {
@@ -65,6 +76,12 @@ class SubnetExplorer {
   Verdict test_candidate(net::Ipv4Addr l, Context& ctx);
   bool far_fringe_check(net::Ipv4Addr l, const Context& ctx);    // H7
   bool close_fringe_check(net::Ipv4Addr l, const Context& ctx);  // H8
+
+  // Windowed prescan of one growth level (see ExplorerConfig::probe_window):
+  // warms the probe cache with overlapped waves so the serial walk below
+  // resolves from memory instead of paying one RTT per candidate.
+  void prescan(const std::vector<net::Ipv4Addr>& candidates,
+               const Context& ctx);
 
   net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
     if (ttl < 1) return net::ProbeReply::none();

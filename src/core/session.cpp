@@ -1,5 +1,9 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "util/log.h"
 
 namespace tn::core {
@@ -13,6 +17,8 @@ TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
   config_.explore.flow_id = config_.flow_id;
   config_.positioning.protocol = config_.protocol;
   config_.positioning.flow_id = config_.flow_id;
+  config_.trace.probe_window = config_.probe_window;
+  config_.explore.probe_window = config_.probe_window;
 
   retry_ = std::make_unique<probe::RetryingProbeEngine>(wire_engine_,
                                                         config_.retry_attempts);
@@ -20,6 +26,37 @@ TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
   if (config_.use_probe_cache) {
     cache_ = std::make_unique<probe::CachingProbeEngine>(*retry_);
     top_ = cache_.get();
+  }
+}
+
+void TracenetSession::prescan_positioning(const TracePath& path) {
+  // Speculative but cheap: positioning's opening probes are fully
+  // determined by the trace, so one wave per window amortizes what would
+  // otherwise be three sequential round trips per hop. Hops the session
+  // later skips as covered cost a few extra wire probes — the documented
+  // batched-mode trade (docs/PROBING.md).
+  std::vector<net::Probe> wave;
+  wave.reserve(path.hops.size() * 3);
+  auto queue = [&](net::Ipv4Addr target, int ttl) {
+    if (ttl < 1 || ttl > 255) return;
+    net::Probe probe;
+    probe.target = target;
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    probe.protocol = config_.protocol;
+    probe.flow_id = config_.flow_id;
+    wave.push_back(probe);
+  };
+  for (const TraceHop& hop : path.hops) {
+    if (hop.anonymous()) continue;
+    const net::Ipv4Addr v = hop.reply.responder;
+    queue(v, hop.ttl);
+    queue(v, hop.ttl - 1);
+    queue(v.mate31(), hop.ttl);
+  }
+  const std::size_t window = static_cast<std::size_t>(config_.probe_window);
+  for (std::size_t begin = 0; begin < wave.size(); begin += window) {
+    const std::size_t count = std::min(window, wave.size() - begin);
+    top_->probe_batch(std::span<const net::Probe>(wave).subspan(begin, count));
   }
 }
 
@@ -33,6 +70,7 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
 
   Traceroute tracer(*top_, config_.trace);
   result.path = tracer.run(destination);
+  if (config_.probe_window > 1) prescan_positioning(result.path);
 
   SubnetPositioner positioner(*top_, config_.positioning);
   SubnetExplorer explorer(*top_, config_.explore);

@@ -31,6 +31,13 @@ struct SessionConfig {
   PositioningConfig positioning;   // protocol/flow_id fields overridden
   int retry_attempts = 2;          // total tries per probe (§3.8 re-probe)
   bool use_probe_cache = true;     // merged-heuristic probe sharing (§3.5)
+  // In-flight probe window for trace collection and subnet exploration
+  // (overrides the trace/explore fields): waves of up to this many probes
+  // overlap their round trips through ProbeEngine::probe_batch, cutting a
+  // session's RTT-bound wall clock by roughly the window size while the
+  // output stays byte-identical on stable networks (docs/PROBING.md).
+  // 1 = strictly sequential probing (the historical behavior).
+  int probe_window = 1;
   // Skip positioning+exploration for a hop whose address already lies inside
   // a subnet collected earlier in this session.
   bool skip_covered_hops = true;
@@ -62,6 +69,12 @@ class TracenetSession {
   std::uint64_t retries_used() const noexcept { return retry_->retries_used(); }
 
  private:
+  // Windowed mode (probe_window > 1): warms the probe cache with the first
+  // probes subnet positioning will pay for every named hop of `path` —
+  // <v, d>, <v, d-1> and <mate31(v), d> — as overlapped waves, so the
+  // serial positioning logic resolves them from memory.
+  void prescan_positioning(const TracePath& path);
+
   probe::ProbeEngine& wire_engine_;
   SessionConfig config_;
   std::unique_ptr<probe::RetryingProbeEngine> retry_;

@@ -1,5 +1,8 @@
 #include "core/traceroute.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/log.h"
 
 namespace tn::core {
@@ -8,11 +11,36 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
   TracePath path;
   path.destination = destination;
 
+  // Windowed mode: TTLs are probed in waves of `probe_window` overlapped
+  // probes; `wave` holds replies for TTLs wave_base+1 .. wave_base+size.
+  // The consuming loop below is the single source of truth for stop logic
+  // in both modes — a wave only prefetches replies it may then discard.
+  const int window = config_.probe_window < 1 ? 1 : config_.probe_window;
+  std::vector<net::ProbeReply> wave;
+  int wave_base = 0;
+
   int anonymous_run = 0;
   for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
-    const net::ProbeReply reply = engine_.indirect(
-        destination, static_cast<std::uint8_t>(ttl), config_.protocol,
-        config_.flow_id);
+    net::ProbeReply reply;
+    if (window <= 1) {
+      reply = engine_.indirect(destination, static_cast<std::uint8_t>(ttl),
+                               config_.protocol, config_.flow_id);
+    } else {
+      if (ttl > wave_base + static_cast<int>(wave.size())) {
+        wave_base = ttl - 1;
+        const int count = std::min(window, config_.max_ttl - wave_base);
+        std::vector<net::Probe> probes(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          probes[static_cast<std::size_t>(i)].target = destination;
+          probes[static_cast<std::size_t>(i)].ttl =
+              static_cast<std::uint8_t>(wave_base + 1 + i);
+          probes[static_cast<std::size_t>(i)].protocol = config_.protocol;
+          probes[static_cast<std::size_t>(i)].flow_id = config_.flow_id;
+        }
+        wave = engine_.probe_batch(probes);
+      }
+      reply = wave[static_cast<std::size_t>(ttl - wave_base - 1)];
+    }
     path.hops.push_back(TraceHop{ttl, reply});
 
     // An alive-type reply to a TTL-scoped probe can only mean the probe was

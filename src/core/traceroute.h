@@ -20,6 +20,14 @@ struct TracerouteConfig {
   // Give up after this many consecutive anonymous hops (firewalled tail or
   // unreachable destination).
   int anonymous_gap_limit = 4;
+  // In-flight probe window: with a window of W the trace probes TTLs in
+  // waves of up to W through ProbeEngine::probe_batch, so a wave pays one
+  // overlapped round trip instead of W sequential ones. Replies are consumed
+  // in TTL order through the unchanged serial stop logic, so the collected
+  // path is identical to window 1 on stable networks — the wave may merely
+  // probe a few TTLs past the stopping hop (extra wire probes, never extra
+  // hops). 1 (the default) is the strictly sequential historical behavior.
+  int probe_window = 1;
 };
 
 class Traceroute {

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "probe/engine.h"
 
@@ -47,9 +49,13 @@ class CachingProbeEngine final : public ProbeEngine {
     }
   };
 
+  static Key key_of(const net::Probe& request) noexcept {
+    return Key{request.target.value(), request.flow_id, request.ttl,
+               static_cast<std::uint8_t>(request.protocol)};
+  }
+
   net::ProbeReply do_probe(const net::Probe& request) override {
-    const Key key{request.target.value(), request.flow_id, request.ttl,
-                  static_cast<std::uint8_t>(request.protocol)};
+    const Key key = key_of(request);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
@@ -59,6 +65,45 @@ class CachingProbeEngine final : public ProbeEngine {
     const net::ProbeReply reply = inner_.probe(request);
     cache_.emplace(key, reply);
     return reply;
+  }
+
+  // Partitions the wave into hits and misses and forwards only the misses,
+  // as one inner wave. A key repeated within the wave is probed once; later
+  // occurrences count as hits, exactly as a serial walk would score them.
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    std::vector<net::ProbeReply> replies(requests.size());
+    std::vector<net::Probe> misses;
+    std::vector<std::size_t> miss_request;  // request index per miss
+    std::unordered_map<Key, std::size_t, KeyHash> pending;  // key -> miss pos
+    std::vector<std::pair<std::size_t, std::size_t>> duplicates;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Key key = key_of(requests[i]);
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++hits_;
+        replies[i] = it->second;
+        continue;
+      }
+      if (const auto it = pending.find(key); it != pending.end()) {
+        ++hits_;
+        duplicates.emplace_back(i, it->second);
+        continue;
+      }
+      ++misses_;
+      pending.emplace(key, misses.size());
+      miss_request.push_back(i);
+      misses.push_back(requests[i]);
+    }
+    if (!misses.empty()) {
+      const std::vector<net::ProbeReply> fresh = inner_.probe_batch(misses);
+      for (std::size_t j = 0; j < misses.size(); ++j) {
+        replies[miss_request[j]] = fresh[j];
+        cache_.emplace(key_of(misses[j]), fresh[j]);
+      }
+      for (const auto& [request_index, miss_index] : duplicates)
+        replies[request_index] = fresh[miss_index];
+    }
+    return replies;
   }
 
   ProbeEngine& inner_;

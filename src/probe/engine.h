@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "net/ipv4.h"
 #include "net/packet.h"
@@ -28,6 +30,21 @@ class ProbeEngine {
   net::ProbeReply probe(const net::Probe& request) {
     issued_.fetch_add(1, std::memory_order_relaxed);
     return do_probe(request);
+  }
+
+  // Issues a wave of probes and blocks until every one has a reply or a
+  // definitive silence. replies[i] answers requests[i]. The base
+  // implementation probes serially, so every engine is batch-correct by
+  // construction; engines that can overlap round trips (the simulator, a
+  // future async raw-socket engine) override do_probe_batch so the whole
+  // wave pays one RTT. Callers own ordering: waves carry no ordering
+  // guarantee among their probes beyond slot claiming in request order
+  // (see docs/PROBING.md for the determinism contract).
+  std::vector<net::ProbeReply> probe_batch(
+      std::span<const net::Probe> requests) {
+    if (requests.empty()) return {};
+    issued_.fetch_add(requests.size(), std::memory_order_relaxed);
+    return do_probe_batch(requests);
   }
 
   // §3.1(i) direct probing: large TTL, tests liveness of `target`.
@@ -67,6 +84,18 @@ class ProbeEngine {
  private:
   virtual net::ProbeReply do_probe(const net::Probe& request) = 0;
 
+  // Serial fallback: correct for every engine (RawSocketProbeEngine keeps
+  // working unmodified). Calls do_probe, not probe(), so the issued counter
+  // is bumped exactly once per request.
+  virtual std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) {
+    std::vector<net::ProbeReply> replies;
+    replies.reserve(requests.size());
+    for (const net::Probe& request : requests)
+      replies.push_back(do_probe(request));
+    return replies;
+  }
+
   std::atomic<std::uint64_t> issued_{0};
 };
 
@@ -81,6 +110,11 @@ class ForwardingProbeEngine final : public ProbeEngine {
  private:
   net::ProbeReply do_probe(const net::Probe& request) override {
     return inner_.probe(request);
+  }
+
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    return inner_.probe_batch(requests);
   }
 
   ProbeEngine& inner_;

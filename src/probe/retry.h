@@ -5,6 +5,8 @@
 // rather than unresponsiveness; in the simulator it can be rate limiting.
 #pragma once
 
+#include <vector>
+
 #include "probe/engine.h"
 
 namespace tn::probe {
@@ -25,6 +27,29 @@ class RetryingProbeEngine final : public ProbeEngine {
       reply = inner_.probe(request);
     }
     return reply;
+  }
+
+  // The whole wave goes out once; only the silent subset is re-probed, as a
+  // smaller second wave, up to the attempt budget. Per-probe attempt counts
+  // match the serial path exactly.
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    std::vector<net::ProbeReply> replies = inner_.probe_batch(requests);
+    for (int attempt = 1; attempt < attempts_; ++attempt) {
+      std::vector<net::Probe> again;
+      std::vector<std::size_t> again_request;
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        if (!replies[i].is_none()) continue;
+        again.push_back(requests[i]);
+        again_request.push_back(i);
+      }
+      if (again.empty()) break;
+      retries_ += again.size();
+      const std::vector<net::ProbeReply> fresh = inner_.probe_batch(again);
+      for (std::size_t j = 0; j < again.size(); ++j)
+        replies[again_request[j]] = fresh[j];
+    }
+    return replies;
   }
 
   ProbeEngine& inner_;

@@ -16,6 +16,8 @@
 #include <array>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "probe/engine.h"
 
@@ -90,6 +92,64 @@ class SharedCachingProbeEngine final : public ProbeEngine {
       shard.replies.insert_or_assign(key, reply);
     }
     return reply;
+  }
+
+  // Batch partition: hits resolve from the shards (one short lock per
+  // request), misses forward as one inner wave — probed outside every shard
+  // lock for the same reason do_probe is — then publish. Duplicate keys
+  // within a wave are probed once and scored as hits, like the serial walk.
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    std::vector<net::ProbeReply> replies(requests.size());
+    std::vector<net::Probe> misses;
+    std::vector<std::size_t> miss_request;
+    std::unordered_map<Key, std::size_t, KeyHash> pending;
+    std::vector<std::pair<std::size_t, std::size_t>> duplicates;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Key key{requests[i].target.value(), requests[i].flow_id,
+                    requests[i].ttl,
+                    static_cast<std::uint8_t>(requests[i].protocol)};
+      if (const auto it = pending.find(key); it != pending.end()) {
+        ++hits;
+        duplicates.emplace_back(i, it->second);
+        continue;
+      }
+      Shard& shard = shards_[KeyHash{}(key) % kShards];
+      bool hit = false;
+      {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        if (const auto it = shard.replies.find(key);
+            it != shard.replies.end()) {
+          replies[i] = it->second;
+          hit = true;
+        }
+      }
+      if (hit) {
+        ++hits;
+        continue;
+      }
+      pending.emplace(key, misses.size());
+      miss_request.push_back(i);
+      misses.push_back(requests[i]);
+    }
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+    if (!misses.empty()) {
+      const std::vector<net::ProbeReply> fresh = inner_.probe_batch(misses);
+      for (std::size_t j = 0; j < misses.size(); ++j) {
+        replies[miss_request[j]] = fresh[j];
+        const Key key{misses[j].target.value(), misses[j].flow_id,
+                      misses[j].ttl,
+                      static_cast<std::uint8_t>(misses[j].protocol)};
+        Shard& shard = shards_[KeyHash{}(key) % kShards];
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.replies.insert_or_assign(key, fresh[j]);
+      }
+      for (const auto& [request_index, miss_index] : duplicates)
+        replies[request_index] = fresh[miss_index];
+    }
+    return replies;
   }
 
   ProbeEngine& inner_;

@@ -20,6 +20,13 @@ class SimProbeEngine final : public ProbeEngine {
     return network_.send_probe(origin_, request);
   }
 
+  // A wave pays one emulated RTT instead of one per probe (overlapped
+  // in-flight probes); see sim::Network::send_probe_batch.
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    return network_.send_probe_batch(origin_, requests);
+  }
+
   sim::Network& network_;
   sim::NodeId origin_;
 };

@@ -36,12 +36,16 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   Counter& retries_counter = m.counter("probe.retries");
   Histogram& latency_hist = m.histogram("session.latency_us");
   Histogram& probes_hist = m.histogram("session.probes");
+  WaveInstruments waves;
+  waves.waves = &m.counter("probe.waves");
+  waves.batched_probes = &m.counter("probe.batched_probes");
+  waves.occupancy = &m.histogram("probe.window_occupancy");
 
   // The shared probe stack (see the header diagram).
   probe::SimProbeEngine wire(network_, vantage_);
   ProbePacer pacer =
       config_.pps > 0.0 ? ProbePacer(config_.pps, config_.burst) : ProbePacer();
-  PacedProbeEngine paced(wire, pacer, &wire_counter);
+  PacedProbeEngine paced(wire, pacer, &wire_counter, waves);
   std::optional<probe::SharedCachingProbeEngine> shared_cache;
   probe::ProbeEngine* base = &paced;
   if (config_.share_probe_cache) {

@@ -37,10 +37,15 @@ class ProbePacer {
 
   bool enabled() const noexcept { return enabled_; }
 
-  // Blocks until one probe may be sent. Throttle waits are counted so the
-  // metrics can answer "did the pacer actually bite".
-  void acquire() {
-    if (!enabled_) return;
+  // Blocks until `n` probes may be sent — a whole wave costs n tokens in a
+  // single lock acquisition, not n round trips through the bucket. Waves
+  // larger than the burst capacity are admitted once the bucket is full and
+  // drive the token count negative, so the debt throttles subsequent waves
+  // and the long-run rate still converges to `pps`. Throttle waits are
+  // counted so the metrics can answer "did the pacer actually bite".
+  void acquire(std::size_t n = 1) {
+    if (!enabled_ || n == 0) return;
+    const double want = static_cast<double>(n);
     for (;;) {
       std::chrono::duration<double> shortfall{};
       {
@@ -51,11 +56,12 @@ class ProbePacer {
           if (tokens_ > burst_) tokens_ = burst_;
         }
         last_ = now;
-        if (tokens_ >= 1.0) {
-          tokens_ -= 1.0;
+        const double need = want < burst_ ? want : burst_;
+        if (tokens_ >= need) {
+          tokens_ -= want;
           return;
         }
-        shortfall = std::chrono::duration<double>((1.0 - tokens_) / rate_);
+        shortfall = std::chrono::duration<double>((need - tokens_) / rate_);
       }
       throttle_waits_.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(shortfall);
@@ -81,13 +87,24 @@ class ProbePacer {
 // Decorator applying a (shared) pacer to every probe crossing it. Sits
 // directly above the wire engine so cache hits and skipped work are never
 // charged against the budget; its own probes_issued() counts paced probes.
+// Optional batch instruments, recorded per wave crossing the paced engine:
+// waves fired, probes carried by waves, and the in-flight window occupancy
+// distribution (wave size). Any may be null.
+struct WaveInstruments {
+  Counter* waves = nullptr;
+  Counter* batched_probes = nullptr;
+  Histogram* occupancy = nullptr;
+};
+
 class PacedProbeEngine final : public probe::ProbeEngine {
  public:
   // `wire_counter`, when given, mirrors the paced probe count into a
   // metrics registry counter.
   PacedProbeEngine(probe::ProbeEngine& inner, ProbePacer& pacer,
-                   Counter* wire_counter = nullptr) noexcept
-      : inner_(inner), pacer_(pacer), wire_counter_(wire_counter) {}
+                   Counter* wire_counter = nullptr,
+                   WaveInstruments waves = {}) noexcept
+      : inner_(inner), pacer_(pacer), wire_counter_(wire_counter),
+        waves_(waves) {}
 
  private:
   net::ProbeReply do_probe(const net::Probe& request) override {
@@ -96,9 +113,21 @@ class PacedProbeEngine final : public probe::ProbeEngine {
     return inner_.probe(request);
   }
 
+  std::vector<net::ProbeReply> do_probe_batch(
+      std::span<const net::Probe> requests) override {
+    pacer_.acquire(requests.size());
+    if (wire_counter_ != nullptr) wire_counter_->add(requests.size());
+    if (waves_.waves != nullptr) waves_.waves->add();
+    if (waves_.batched_probes != nullptr)
+      waves_.batched_probes->add(requests.size());
+    if (waves_.occupancy != nullptr) waves_.occupancy->record(requests.size());
+    return inner_.probe_batch(requests);
+  }
+
   probe::ProbeEngine& inner_;
   ProbePacer& pacer_;
   Counter* wire_counter_;
+  WaveInstruments waves_;
 };
 
 }  // namespace tn::runtime

@@ -192,6 +192,17 @@ net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
   return reply;
 }
 
+std::vector<net::ProbeReply> Network::send_probe_batch(
+    NodeId origin, std::span<const net::Probe> probes) {
+  std::vector<net::ProbeReply> replies;
+  replies.reserve(probes.size());
+  for (const net::Probe& probe : probes)
+    replies.push_back(walk_probe(origin, probe));
+  if (config_.wall_rtt_us > 0 && !probes.empty())
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.wall_rtt_us));
+  return replies;
+}
+
 net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
   // Claim this probe's virtual-clock slot and sequence number up front; the
   // walk itself runs lock-free against the immutable topology (concurrent

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/ratelimit.h"
@@ -90,6 +92,17 @@ class Network {
   // per-packet load balancing — replies are independent of that order,
   // which is what the runtime's determinism contract builds on.
   net::ProbeReply send_probe(NodeId origin, const net::Probe& probe);
+
+  // Injects a whole wave of probes with overlapped round trips: every probe
+  // claims its virtual-clock slot and sequence number in batch order (so the
+  // clock-driven state sees the same schedule a serial caller would), the
+  // walks run lock-free back to back, and the wave pays exactly *one*
+  // emulated `wall_rtt_us` sleep instead of one per probe — in-flight
+  // probes on a live network overlap their round trips the same way.
+  // replies[i] answers probes[i]. Thread-safe like send_probe; concurrent
+  // waves interleave their slot claims as an arbitrary arbitration.
+  std::vector<net::ProbeReply> send_probe_batch(
+      NodeId origin, std::span<const net::Probe> probes);
 
  private:
   // The forwarding walk proper; send_probe adds the optional emulated RTT.

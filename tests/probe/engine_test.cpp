@@ -107,6 +107,115 @@ TEST_F(ProbeEngineTest, RetryRecoversRateLimitedReply) {
   EXPECT_GE(answered, 18);
 }
 
+// Exposes the base class's serial do_probe_batch fallback: forwards single
+// probes only, like an engine written before the batch seam existed
+// (RawSocketProbeEngine's position).
+class SerialOnlyEngine final : public ProbeEngine {
+ public:
+  explicit SerialOnlyEngine(ProbeEngine& inner) noexcept : inner_(inner) {}
+
+ private:
+  net::ProbeReply do_probe(const net::Probe& request) override {
+    return inner_.probe(request);
+  }
+  ProbeEngine& inner_;
+};
+
+net::Probe direct_probe(net::Ipv4Addr target) {
+  net::Probe p;
+  p.target = target;
+  return p;
+}
+
+net::Probe indirect_probe(net::Ipv4Addr target, std::uint8_t ttl) {
+  net::Probe p;
+  p.target = target;
+  p.ttl = ttl;
+  return p;
+}
+
+TEST_F(ProbeEngineTest, BatchSerialFallbackMatchesOverlappedBatch) {
+  // An engine without a batch override answers waves through the serial
+  // fallback — same replies, same accounting, as the simulator's true
+  // overlapped batch.
+  SimProbeEngine wire(net, f.vantage);
+  SerialOnlyEngine serial(wire);
+  const std::vector<net::Probe> wave = {
+      direct_probe(f.pivot3), indirect_probe(f.pivot3, 2),
+      direct_probe(ip("192.168.1.9"))};
+
+  const auto fallback = serial.probe_batch(wave);
+  sim::Network net2(f.topo);
+  SimProbeEngine wire2(net2, f.vantage);
+  const auto overlapped = wire2.probe_batch(wave);
+
+  ASSERT_EQ(fallback.size(), wave.size());
+  ASSERT_EQ(overlapped.size(), wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_EQ(fallback[i].type, overlapped[i].type) << i;
+    EXPECT_EQ(fallback[i].responder, overlapped[i].responder) << i;
+  }
+  EXPECT_EQ(serial.probes_issued(), wave.size());
+  EXPECT_EQ(wire.probes_issued(), wave.size());
+}
+
+TEST_F(ProbeEngineTest, SimBatchMatchesSerialProbing) {
+  // replies[i] answers requests[i], bit-identical to probing one by one.
+  SimProbeEngine engine(net, f.vantage);
+  const std::vector<net::Probe> wave = {
+      indirect_probe(f.pivot3, 1), indirect_probe(f.pivot3, 2),
+      indirect_probe(f.pivot3, 3), direct_probe(f.pivot3),
+      direct_probe(f.pivot4)};
+  const auto batched = engine.probe_batch(wave);
+
+  sim::Network net2(f.topo);
+  SimProbeEngine engine2(net2, f.vantage);
+  ASSERT_EQ(batched.size(), wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const auto serial = engine2.probe(wave[i]);
+    EXPECT_EQ(batched[i].type, serial.type) << i;
+    EXPECT_EQ(batched[i].responder, serial.responder) << i;
+  }
+  EXPECT_EQ(engine.probes_issued(), wave.size());
+}
+
+TEST_F(ProbeEngineTest, CacheBatchForwardsOnlyMisses) {
+  SimProbeEngine wire(net, f.vantage);
+  CachingProbeEngine cached(wire);
+  cached.direct(f.pivot3);  // warm one entry
+  EXPECT_EQ(wire.probes_issued(), 1u);
+
+  // Wave of: a hit, a fresh miss, and an intra-batch duplicate of the miss.
+  const std::vector<net::Probe> wave = {direct_probe(f.pivot3),
+                                        direct_probe(f.pivot4),
+                                        direct_probe(f.pivot4)};
+  const auto replies = cached.probe_batch(wave);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(wire.probes_issued(), 2u);  // only the miss crossed the wire
+  EXPECT_EQ(cached.hits(), 2u);         // warm hit + intra-batch duplicate
+  EXPECT_EQ(replies[1].type, replies[2].type);
+  EXPECT_EQ(replies[1].responder, replies[2].responder);
+  // The duplicate's reply is now cached: re-asking costs no wire probe.
+  cached.direct(f.pivot4);
+  EXPECT_EQ(wire.probes_issued(), 2u);
+}
+
+TEST_F(ProbeEngineTest, RetryBatchReprobesOnlySilentSubset) {
+  SimProbeEngine wire(net, f.vantage);
+  RetryingProbeEngine retrying(wire, 3);
+  const std::vector<net::Probe> wave = {direct_probe(f.pivot3),
+                                        direct_probe(ip("192.168.1.9")),
+                                        direct_probe(f.pivot4)};
+  const auto replies = retrying.probe_batch(wave);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].type, ResponseType::kEchoReply);
+  EXPECT_TRUE(replies[1].is_none());
+  EXPECT_EQ(replies[2].type, ResponseType::kEchoReply);
+  // Responsive probes paid once; only the silent one burned the retry budget.
+  EXPECT_EQ(wire.probes_issued(), 3u + 2u);
+  EXPECT_EQ(retrying.retries_used(), 2u);
+}
+
 TEST_F(ProbeEngineTest, StackedDecorators) {
   SimProbeEngine wire(net, f.vantage);
   RetryingProbeEngine retrying(wire, 2);

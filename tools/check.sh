@@ -16,6 +16,6 @@ echo "== tsan: runtime tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DTN_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target runtime_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R 'Metrics|Pacer|SharedStopSet|SharedSubnetCache|CampaignRuntime'
+  -R 'Metrics|Pacer|SharedStopSet|SharedSubnetCache|CampaignRuntime|BatchProbing'
 
 echo "== all checks passed =="

@@ -18,6 +18,12 @@
 //                       targets covered by an observed subnet are skipped)
 //   --fast              with --jobs: eager stop-set skipping, hop-level
 //                       included; trades the determinism contract for probes
+//   --window N          in-flight probe window: waves of up to N probes
+//                       overlap their round trips within each session
+//                       (1 = sequential probing; see docs/PROBING.md)
+//   --rtt-us N          emulated round-trip time per wire probe on the
+//                       simulator (NetworkConfig::wall_rtt_us), so campaign
+//                       runs and --metrics reflect RTT-bound profiles
 //   --pps N             aggregate probe budget, probes/second (0 = no cap)
 //   --metrics text|json dump the runtime metrics registry after the run
 //   --csv FILE          write collected subnets as CSV
@@ -58,8 +64,9 @@ int usage(const char* error) {
                "                    [--targets FILE] [--vantage NAME] "
                "[--protocol icmp|udp|tcp]\n"
                "                    [--max-ttl N] [--retries N] [--multipath]\n"
-               "                    [--jobs N] [--fast] [--pps N] "
-               "[--metrics text|json]\n"
+               "                    [--jobs N] [--fast] [--window N] "
+               "[--rtt-us N] [--pps N]\n"
+               "                    [--metrics text|json]\n"
                "                    [--csv FILE] [--dot FILE] [--verbose] "
                "[targets...]\n");
   return 2;
@@ -153,7 +160,7 @@ int main(int argc, char** argv) {
   util::Args args({"live", "multipath", "verbose", "fast"},
                   {"demo", "topology", "targets", "vantage", "protocol",
                    "max-ttl", "retries", "csv", "dot", "jobs", "pps",
-                   "metrics"});
+                   "metrics", "window", "rtt-us"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
 
@@ -173,6 +180,15 @@ int main(int argc, char** argv) {
     return usage("bad --jobs");
   if (!util::parse_u64(args.option_or("pps", "0"), pps))
     return usage("bad --pps");
+  std::uint64_t window = 1, rtt_us = 0;
+  if (!util::parse_u64(args.option_or("window", "1"), window) || window == 0 ||
+      window > 1024)
+    return usage("bad --window (want 1..1024)");
+  if (!util::parse_u64(args.option_or("rtt-us", "0"), rtt_us) ||
+      rtt_us > 10'000'000)
+    return usage("bad --rtt-us");
+  if (rtt_us > 0 && args.flag("live"))
+    return usage("--rtt-us emulates RTT on the simulator; drop it for --live");
   const std::string metrics_format = args.option_or("metrics", "");
   if (!metrics_format.empty() && metrics_format != "text" &&
       metrics_format != "json")
@@ -213,7 +229,9 @@ int main(int argc, char** argv) {
       return usage("pick a mode: --demo, --topology or --live");
     world = make_world(args);
     if (!world) return 1;
-    network = std::make_unique<sim::Network>(world->topo);
+    sim::NetworkConfig net_config;
+    net_config.wall_rtt_us = rtt_us;
+    network = std::make_unique<sim::Network>(world->topo, net_config);
     engine = std::make_unique<probe::SimProbeEngine>(*network, world->vantage);
     if (targets.empty()) targets = world->default_targets;
   }
@@ -241,6 +259,7 @@ int main(int argc, char** argv) {
     config.campaign.session.protocol = protocol;
     config.campaign.session.trace.max_ttl = static_cast<int>(max_ttl);
     config.campaign.session.retry_attempts = static_cast<int>(retries) + 1;
+    config.campaign.session.probe_window = static_cast<int>(window);
     config.jobs = static_cast<int>(jobs == 0 ? 1 : jobs);
     config.pps = static_cast<double>(pps);
     config.deterministic = !args.flag("fast");
@@ -286,6 +305,7 @@ int main(int argc, char** argv) {
     config.protocol = protocol;
     config.trace.max_ttl = static_cast<int>(max_ttl);
     config.retry_attempts = static_cast<int>(retries) + 1;
+    config.probe_window = static_cast<int>(window);
     core::TracenetSession session(*active, config);
     for (const net::Ipv4Addr target : targets) {
       sessions.push_back(session.run(target));
