@@ -43,9 +43,21 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
   StopReason stop = StopReason::kPrefixFloor;
   const int window = config_.probe_window < 1 ? 1 : config_.probe_window;
 
+  // Graceful degradation on lossy networks: stop growing (keeping what was
+  // collected) once this exploration has spent its wire-probe budget.
+  const auto budget_spent = [&] {
+    return config_.probe_budget != 0 &&
+           engine_.probes_issued() - probes_before >= config_.probe_budget;
+  };
+  bool out_of_budget = false;
+
   // Algorithm 1's outer loop: temporary subnets /31, /30, ... around the
   // pivot.
   for (int m = 31; m >= config_.min_prefix_length; --m) {
+    if (budget_spent()) {
+      stop = StopReason::kProbeBudget;
+      break;
+    }
     const net::Prefix level = net::Prefix::covering(ctx.pivot, m);
     bool shrunk = false;
 
@@ -65,6 +77,11 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
     for (std::uint64_t index = 0; index < level.size(); ++index) {
       const net::Ipv4Addr candidate = level.at(index);
       if (!examined.insert(candidate.value()).second) continue;
+      if (budget_spent()) {
+        stop = StopReason::kProbeBudget;
+        out_of_budget = true;
+        break;
+      }
 
       const Verdict verdict = test_candidate(candidate, ctx);
       if (verdict == Verdict::kAdd) {
@@ -82,7 +99,7 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
         break;
       }
     }
-    if (shrunk) break;
+    if (shrunk || out_of_budget) break;
 
     // Algorithm 1 lines 19-21: stop when at most half the level's address
     // space was collected.

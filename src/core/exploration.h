@@ -47,6 +47,12 @@ struct ExplorerConfig {
   // the prescan probes are simply re-issued. 1 (the default) is the strictly
   // sequential historical behavior.
   int probe_window = 1;
+  // Wire-probe ceiling for one exploration (0 = unlimited). On a lossy or
+  // rate-limited network retries can multiply the probe cost of a level;
+  // when the ceiling is hit, growth stops gracefully — whatever was
+  // collected so far is reported with StopReason::kProbeBudget instead of
+  // probing further. The pivot is always retained.
+  std::uint64_t probe_budget = 0;
 };
 
 class SubnetExplorer {

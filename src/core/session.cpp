@@ -20,11 +20,16 @@ TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
   config_.trace.probe_window = config_.probe_window;
   config_.explore.probe_window = config_.probe_window;
 
+  probe::RetryConfig retry_config;
+  retry_config.attempts = config_.retry_attempts;
+  retry_config.backoff_base_us = config_.retry_backoff_us;
+  retry_config.per_target_budget = config_.retry_budget_per_target;
   retry_ = std::make_unique<probe::RetryingProbeEngine>(wire_engine_,
-                                                        config_.retry_attempts);
+                                                        retry_config);
   top_ = retry_.get();
   if (config_.use_probe_cache) {
     cache_ = std::make_unique<probe::CachingProbeEngine>(*retry_);
+    cache_->set_cache_unresponsive(config_.cache_unresponsive);
     top_ = cache_.get();
   }
 }

@@ -30,7 +30,19 @@ struct SessionConfig {
   ExplorerConfig explore;          // protocol/flow_id fields overridden
   PositioningConfig positioning;   // protocol/flow_id fields overridden
   int retry_attempts = 2;          // total tries per probe (§3.8 re-probe)
+  // Exponential backoff between retries (probe::RetryConfig). 0 base (the
+  // default) retries immediately — the right call on the simulator; live
+  // engines set a real base to ride out rate-limiting windows.
+  std::uint64_t retry_backoff_us = 0;
+  // Lifetime retry cap per target address (0 = unlimited): keeps a
+  // black-holed address from doubling the probe bill of every trace.
+  std::uint64_t retry_budget_per_target = 0;
   bool use_probe_cache = true;     // merged-heuristic probe sharing (§3.5)
+  // Whether the per-session cache memoizes silence. Default on (silence is
+  // stable on clean networks and the cache is cleared per run anyway); turn
+  // off under heavy fault injection so one lost probe cannot shadow an
+  // address for a whole session.
+  bool cache_unresponsive = true;
   // In-flight probe window for trace collection and subnet exploration
   // (overrides the trace/explore fields): waves of up to this many probes
   // overlap their round trips through ProbeEngine::probe_batch, cutting a

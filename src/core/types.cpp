@@ -9,6 +9,7 @@ std::string to_string(StopReason reason) {
     case StopReason::kShrink: return "shrink";
     case StopReason::kUnderUtilized: return "under-utilized";
     case StopReason::kPrefixFloor: return "prefix-floor";
+    case StopReason::kProbeBudget: return "probe-budget";
   }
   return "?";
 }

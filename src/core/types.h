@@ -21,6 +21,7 @@ enum class StopReason : std::uint8_t {
   kShrink,         // a heuristic failed -> shrunk to last valid state (H1)
   kUnderUtilized,  // |S| <= half the level's size (Alg. 1 lines 19-21)
   kPrefixFloor,    // reached the configured minimum prefix length
+  kProbeBudget,    // exploration hit its wire-probe budget (lossy networks)
 };
 
 std::string to_string(StopReason reason);

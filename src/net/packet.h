@@ -56,6 +56,11 @@ struct Probe {
   // hash this together with src/dst; tracenet keeps it constant per session,
   // in the spirit of Paris traceroute, so ECMP does not scatter its probes.
   std::uint16_t flow_id = 0;
+  // Re-probe ordinal: 0 for the first try, bumped by RetryingProbeEngine on
+  // each retry. Not part of the wire format or of any cache key — it only
+  // decorrelates the simulator's fault draws, so a retry of a lost probe
+  // rolls a fresh, independent fate (docs/FAULTS.md).
+  std::uint8_t attempt = 0;
 
   bool is_direct() const noexcept { return ttl >= kDirectProbeTtl; }
 };

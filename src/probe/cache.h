@@ -24,6 +24,15 @@ class CachingProbeEngine final : public ProbeEngine {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
 
+  // Whether silence (kNone) is memoized. On a clean network silence means
+  // "genuinely unresponsive" and caching it saves probes; under loss or rate
+  // limiting it is often transient, and a cached kNone would turn one lost
+  // probe into a permanently dead address for the rest of the session.
+  void set_cache_unresponsive(bool cache) noexcept {
+    cache_unresponsive_ = cache;
+  }
+  bool cache_unresponsive() const noexcept { return cache_unresponsive_; }
+
   // Forget everything, hit/miss counters included, so per-phase statistics
   // read between clears agree with the MetricsRegistry's per-phase counters.
   void clear() {
@@ -63,7 +72,7 @@ class CachingProbeEngine final : public ProbeEngine {
     }
     ++misses_;
     const net::ProbeReply reply = inner_.probe(request);
-    cache_.emplace(key, reply);
+    if (cache_unresponsive_ || !reply.is_none()) cache_.emplace(key, reply);
     return reply;
   }
 
@@ -98,7 +107,8 @@ class CachingProbeEngine final : public ProbeEngine {
       const std::vector<net::ProbeReply> fresh = inner_.probe_batch(misses);
       for (std::size_t j = 0; j < misses.size(); ++j) {
         replies[miss_request[j]] = fresh[j];
-        cache_.emplace(key_of(misses[j]), fresh[j]);
+        if (cache_unresponsive_ || !fresh[j].is_none())
+          cache_.emplace(key_of(misses[j]), fresh[j]);
       }
       for (const auto& [request_index, miss_index] : duplicates)
         replies[request_index] = fresh[miss_index];
@@ -110,6 +120,7 @@ class CachingProbeEngine final : public ProbeEngine {
   std::unordered_map<Key, net::ProbeReply, KeyHash> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  bool cache_unresponsive_ = true;
 };
 
 }  // namespace tn::probe

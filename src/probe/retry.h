@@ -2,49 +2,108 @@
 //
 // §3.8: "In our implementation we re-probe an IP address if we do not get a
 // response for the first probe."  Silence on the real Internet is often loss
-// rather than unresponsiveness; in the simulator it can be rate limiting.
+// rather than unresponsiveness; in the simulator it can be rate limiting or
+// injected probe loss (sim/faults.h). Each retry goes out with a bumped
+// Probe::attempt ordinal so the simulator rolls it an independent fate, the
+// way a fresh packet would dodge the loss that ate its predecessor.
 #pragma once
 
+#include <chrono>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "probe/engine.h"
 
 namespace tn::probe {
 
+struct RetryConfig {
+  // Total tries per probe (first probe + retries); clamped to >= 1.
+  int attempts = 2;
+
+  // Exponential backoff between tries: sleep backoff_base_us before retry 1,
+  // then multiply by backoff_multiplier per further retry, capped at
+  // backoff_max_us. 0 base (the default) disables sleeping entirely, which
+  // keeps simulator runs instant; live engines set a real base to ride out
+  // transient congestion and rate-limiting windows.
+  std::uint64_t backoff_base_us = 0;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_us = 1'000'000;
+
+  // Lifetime cap on retries charged to one target address, across all its
+  // probes through this engine (0 = unlimited). Keeps a black-holed or
+  // heavily rate-limited target from consuming attempts_-1 extra probes on
+  // every single TTL of every trace sent its way.
+  std::uint64_t per_target_budget = 0;
+};
+
 class RetryingProbeEngine final : public ProbeEngine {
  public:
-  // `attempts` = total tries (first probe + retries); must be >= 1.
+  RetryingProbeEngine(ProbeEngine& inner, RetryConfig config) noexcept
+      : inner_(inner), config_(config) {
+    if (config_.attempts < 1) config_.attempts = 1;
+  }
   RetryingProbeEngine(ProbeEngine& inner, int attempts = 2) noexcept
-      : inner_(inner), attempts_(attempts < 1 ? 1 : attempts) {}
+      : RetryingProbeEngine(inner, RetryConfig{.attempts = attempts}) {}
 
   std::uint64_t retries_used() const noexcept { return retries_; }
+  const RetryConfig& config() const noexcept { return config_; }
 
  private:
+  // Whether target may still be charged a retry; charges it when yes.
+  bool charge_retry(net::Ipv4Addr target) {
+    if (config_.per_target_budget != 0) {
+      std::uint64_t& used = per_target_retries_[target.value()];
+      if (used >= config_.per_target_budget) return false;
+      ++used;
+    }
+    ++retries_;
+    return true;
+  }
+
+  void backoff(int retry_number) const {
+    if (config_.backoff_base_us == 0) return;
+    double us = static_cast<double>(config_.backoff_base_us);
+    for (int i = 1; i < retry_number; ++i) us *= config_.backoff_multiplier;
+    const auto capped = static_cast<std::uint64_t>(
+        us < static_cast<double>(config_.backoff_max_us)
+            ? us
+            : static_cast<double>(config_.backoff_max_us));
+    std::this_thread::sleep_for(std::chrono::microseconds(capped));
+  }
+
   net::ProbeReply do_probe(const net::Probe& request) override {
     net::ProbeReply reply = inner_.probe(request);
-    for (int attempt = 1; attempt < attempts_ && reply.is_none(); ++attempt) {
-      ++retries_;
-      reply = inner_.probe(request);
+    for (int attempt = 1; attempt < config_.attempts && reply.is_none();
+         ++attempt) {
+      if (!charge_retry(request.target)) break;
+      backoff(attempt);
+      net::Probe again = request;
+      again.attempt = static_cast<std::uint8_t>(attempt);
+      reply = inner_.probe(again);
     }
     return reply;
   }
 
   // The whole wave goes out once; only the silent subset is re-probed, as a
   // smaller second wave, up to the attempt budget. Per-probe attempt counts
-  // match the serial path exactly.
+  // and attempt ordinals match the serial path exactly.
   std::vector<net::ProbeReply> do_probe_batch(
       std::span<const net::Probe> requests) override {
     std::vector<net::ProbeReply> replies = inner_.probe_batch(requests);
-    for (int attempt = 1; attempt < attempts_; ++attempt) {
+    for (int attempt = 1; attempt < config_.attempts; ++attempt) {
       std::vector<net::Probe> again;
       std::vector<std::size_t> again_request;
       for (std::size_t i = 0; i < replies.size(); ++i) {
         if (!replies[i].is_none()) continue;
-        again.push_back(requests[i]);
+        if (!charge_retry(requests[i].target)) continue;
+        net::Probe retry = requests[i];
+        retry.attempt = static_cast<std::uint8_t>(attempt);
+        again.push_back(retry);
         again_request.push_back(i);
       }
       if (again.empty()) break;
-      retries_ += again.size();
+      backoff(attempt);
       const std::vector<net::ProbeReply> fresh = inner_.probe_batch(again);
       for (std::size_t j = 0; j < again.size(); ++j)
         replies[again_request[j]] = fresh[j];
@@ -53,8 +112,9 @@ class RetryingProbeEngine final : public ProbeEngine {
   }
 
   ProbeEngine& inner_;
-  int attempts_;
+  RetryConfig config_;
   std::uint64_t retries_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> per_target_retries_;
 };
 
 }  // namespace tn::probe

@@ -35,6 +35,18 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  // Whether silence (kNone) is published to the shared table. Under fault
+  // injection one worker's lost probe must not poison the address for every
+  // other session of the campaign, so CampaignRuntime disables this whenever
+  // the network has faults installed. Safe to flip at any time (atomic); in
+  // practice it is set before workers start.
+  void set_cache_unresponsive(bool cache) noexcept {
+    cache_unresponsive_.store(cache, std::memory_order_relaxed);
+  }
+  bool cache_unresponsive() const noexcept {
+    return cache_unresponsive_.load(std::memory_order_relaxed);
+  }
+
   // Forget everything, counters included. Only meaningful while no worker is
   // probing (between campaigns).
   void clear() {
@@ -87,7 +99,8 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     // agree on whichever reply lands last — identical on stable networks.
     misses_.fetch_add(1, std::memory_order_relaxed);
     const net::ProbeReply reply = inner_.probe(request);
-    {
+    if (cache_unresponsive_.load(std::memory_order_relaxed) ||
+        !reply.is_none()) {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       shard.replies.insert_or_assign(key, reply);
     }
@@ -137,8 +150,11 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     misses_.fetch_add(misses.size(), std::memory_order_relaxed);
     if (!misses.empty()) {
       const std::vector<net::ProbeReply> fresh = inner_.probe_batch(misses);
+      const bool keep_none =
+          cache_unresponsive_.load(std::memory_order_relaxed);
       for (std::size_t j = 0; j < misses.size(); ++j) {
         replies[miss_request[j]] = fresh[j];
+        if (!keep_none && fresh[j].is_none()) continue;
         const Key key{misses[j].target.value(), misses[j].flow_id,
                       misses[j].ttl,
                       static_cast<std::uint8_t>(misses[j].protocol)};
@@ -156,6 +172,7 @@ class SharedCachingProbeEngine final : public ProbeEngine {
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<bool> cache_unresponsive_{true};
 };
 
 }  // namespace tn::probe

@@ -41,6 +41,10 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   waves.batched_probes = &m.counter("probe.batched_probes");
   waves.occupancy = &m.histogram("probe.window_occupancy");
 
+  // Fault-injection deltas: stats are cumulative per network, so remember
+  // where this campaign started.
+  const sim::NetworkStats stats_before = network_.stats();
+
   // The shared probe stack (see the header diagram).
   probe::SimProbeEngine wire(network_, vantage_);
   ProbePacer pacer =
@@ -50,6 +54,9 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   probe::ProbeEngine* base = &paced;
   if (config_.share_probe_cache) {
     shared_cache.emplace(paced);
+    // Under fault injection silence is often transient loss; one worker's
+    // lost probe must not become a campaign-wide dead address.
+    if (network_.faults_enabled()) shared_cache->set_cache_unresponsive(false);
     base = &*shared_cache;
   }
 
@@ -151,6 +158,22 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
     acc.add(*results[index]);
     report.sessions.push_back(std::move(*results[index]));
   }
+
+  // Anonymous hops over the sessions the merge accepted: '*' entries a live
+  // trace would print, whether from genuinely silent routers or injected
+  // reply suppression.
+  std::uint64_t anonymous_hops = 0;
+  for (const core::SessionResult& result : report.sessions)
+    for (const core::TraceHop& hop : result.path.hops)
+      if (hop.anonymous()) ++anonymous_hops;
+  m.counter("trace.anonymous_hops").add(anonymous_hops);
+
+  // Injected-fault deltas for this campaign (all zero without faults).
+  const sim::NetworkStats stats_after = network_.stats();
+  m.counter("probe.drops")
+      .add(stats_after.fault_drops() - stats_before.fault_drops());
+  m.counter("probe.rate_limited")
+      .add(stats_after.rate_limited - stats_before.rate_limited);
 
   report.observations = acc.finalize();
   report.observations.wire_probes = wire.probes_issued();

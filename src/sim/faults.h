@@ -1,0 +1,142 @@
+// Deterministic fault injection for the simulator.
+//
+// The real Internet loses probes, rate-limits ICMP, hides routers behind
+// anonymous hops and black-holes whole TTL ranges at filtering boundaries —
+// conditions the paper's heuristics were designed to survive (§3.8 re-probing,
+// §4.2 rate limiting) but that a clean simulator never produces. A FaultSpec
+// describes those conditions declaratively; sim::Network applies it on the
+// probe path so that a (topology, fault-spec, seed) triple always replays
+// byte-identically.
+//
+// Determinism contract: every probabilistic draw is keyed on the spec seed
+// and the *content* of the probe — (target, ttl, protocol, flow, attempt) —
+// never on wall clock, thread schedule or injection order. The same probe is
+// therefore lost (or not) in every run and in every probing schedule, while a
+// retry (higher `attempt`) rolls an independent draw, exactly like a fresh
+// packet on a lossy wire. The two exceptions are ICMP rate limiting (token
+// buckets run on the virtual clock, so admission depends on the probe
+// schedule) and reply reordering (permutes clock-slot claiming within one
+// wave); both stay deterministic for a fixed serial schedule.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace tn::sim {
+
+class Topology;
+
+// Fault behaviour of one node (or, as FaultSpec::default_policy, of the
+// network end to end — see the field comments for which scope each knob
+// takes in that role).
+struct FaultPolicy {
+  // Probability that the probe is dropped on the forward path. As a node
+  // override: drawn when the probe traverses that node. As the default
+  // policy: drawn once per probe at injection (end-to-end loss), so the
+  // effective loss rate equals the configured value regardless of path
+  // length.
+  double probe_loss = 0.0;
+
+  // Probability that a generated reply is dropped on the way back. Drawn at
+  // the responding node; a node override replaces the default there.
+  double reply_loss = 0.0;
+
+  // Anonymous mode: ICMP Time Exceeded is silently suppressed — the router
+  // forwards but never appears in a trace (the "non-cooperative router" of
+  // Pignolet et al.). Direct replies are unaffected.
+  bool anonymous = false;
+
+  // Black-holed TTL range (inclusive, against the probe's original TTL):
+  // probes scoped into [lo, hi] vanish. 0/0 disables. As the default policy:
+  // applied at injection (a filtering boundary in front of everything); as a
+  // node override: applied when the probe traverses that node.
+  int blackhole_ttl_lo = 0;
+  int blackhole_ttl_hi = 0;
+
+  // ICMP response rate limiting: sustained replies/second with bursts of up
+  // to `icmp_burst` (0 rate = unlimited). Installed as the node's RateLimiter
+  // on the virtual clock; as the default policy it installs on every router.
+  double icmp_rate = 0.0;
+  double icmp_burst = 8.0;
+
+  bool blackholes(int ttl) const noexcept {
+    return blackhole_ttl_lo > 0 && ttl >= blackhole_ttl_lo &&
+           ttl <= blackhole_ttl_hi;
+  }
+
+  bool is_noop() const noexcept {
+    return probe_loss <= 0.0 && reply_loss <= 0.0 && !anonymous &&
+           blackhole_ttl_lo <= 0 && icmp_rate <= 0.0;
+  }
+};
+
+// A full fault scenario: a default policy plus per-node overrides, one seed,
+// and an optional bounded reply-reordering window for batch waves.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  FaultPolicy default_policy;
+  std::unordered_map<NodeId, FaultPolicy> node_overrides;
+
+  // Bounded reply reordering inside send_probe_batch waves: each probe of a
+  // wave may claim its virtual-clock slot up to this many positions away
+  // from its batch position (<= 1 disables). replies[i] still answers
+  // probes[i]; only the clock-visible processing order is permuted, the way
+  // overlapped round trips complete out of order on a live network.
+  int reorder_window = 0;
+
+  // True when the spec can alter any reply.
+  bool enabled() const noexcept {
+    if (!default_policy.is_noop() || reorder_window > 1) return true;
+    for (const auto& [node, policy] : node_overrides)
+      if (!policy.is_noop()) return true;
+    return false;
+  }
+
+  // The policy governing *reply generation* at `node`: the override when one
+  // exists, the default otherwise.
+  const FaultPolicy& reply_policy(NodeId node) const noexcept {
+    const auto it = node_overrides.find(node);
+    return it == node_overrides.end() ? default_policy : it->second;
+  }
+
+  // The override for `node`, or nullptr (forward-path checks only apply
+  // overrides per node; the default is charged once at injection).
+  const FaultPolicy* override_for(NodeId node) const noexcept {
+    const auto it = node_overrides.find(node);
+    return it == node_overrides.end() ? nullptr : &it->second;
+  }
+
+  // Uniform end-to-end probe loss — the CLI's --loss shorthand.
+  static FaultSpec uniform_loss(double probability, std::uint64_t seed = 0) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.default_policy.probe_loss = probability;
+    return spec;
+  }
+};
+
+// The per-probe deterministic keystream: a fresh Rng seeded from the spec
+// seed and the probe's content. Walk code consumes it in forwarding order,
+// which is itself a pure function of (topology, probe), keeping the whole
+// draw sequence schedule-invariant.
+util::Rng fault_draw_stream(std::uint64_t seed, const net::Probe& probe) noexcept;
+
+// Parses the text fault-spec format (docs/FAULTS.md):
+//
+//   # comment
+//   seed 7
+//   reorder 4
+//   default loss=0.2 reply-loss=0.05 blackhole-ttl=5-8 rate=100/8
+//   node R3 anonymous=1
+//   node R5 loss=0.5 rate=10/2
+//
+// Node names are resolved against `topology`; throws std::invalid_argument
+// on syntax errors, out-of-range probabilities or unknown node names.
+FaultSpec parse_fault_spec(std::istream& in, const Topology& topology);
+
+}  // namespace tn::sim

@@ -1,6 +1,8 @@
 #include "sim/network.h"
 
 #include <chrono>
+#include <numeric>
+#include <optional>
 #include <thread>
 
 namespace tn::sim {
@@ -41,6 +43,38 @@ net::ProbeReply Network::count(net::ProbeReply reply) {
 void Network::set_rate_limiter(NodeId node, RateLimiter limiter) {
   const std::lock_guard<std::mutex> lock(limiter_mutex_);
   limiters_[node] = limiter;
+}
+
+void Network::set_faults(FaultSpec spec) {
+  faults_ = std::move(spec);
+  faults_enabled_ = faults_.enabled();
+  if (!faults_enabled_) return;
+  // Rate limits become real token buckets on the virtual clock: the default
+  // rate installs on every router, overrides replace it per node.
+  const FaultPolicy& def = faults_.default_policy;
+  if (def.icmp_rate > 0.0) {
+    for (NodeId id = 0; id < topology_.node_count(); ++id)
+      if (!topology_.node(id).is_host)
+        set_rate_limiter(id, RateLimiter(def.icmp_rate, def.icmp_burst));
+  }
+  for (const auto& [node, policy] : faults_.node_overrides)
+    if (policy.icmp_rate > 0.0)
+      set_rate_limiter(node, RateLimiter(policy.icmp_rate, policy.icmp_burst));
+}
+
+net::ProbeReply Network::finish_reply(NodeId node, net::ProbeReply reply,
+                                      const ProbeSlot& slot) {
+  // Responder-side reply loss. The draw is only consumed when the policy
+  // actually has reply loss, so fault-free nodes leave the keystream
+  // untouched and every other draw stays schedule-invariant.
+  if (slot.fault_rng != nullptr && !reply.is_none()) {
+    const double p = faults_.reply_policy(node).reply_loss;
+    if (p > 0.0 && slot.fault_rng->chance(p)) {
+      fault_reply_lost_.fetch_add(1, std::memory_order_relaxed);
+      return count(net::ProbeReply::none());
+    }
+  }
+  return count(reply);
 }
 
 bool Network::admit_response(NodeId node, const ProbeSlot& slot) {
@@ -119,13 +153,19 @@ net::ProbeReply Network::respond_direct(NodeId node_id, const net::Probe& probe,
     case net::ProbeProtocol::kUdp: type = net::ResponseType::kPortUnreachable; break;
     case net::ProbeProtocol::kTcp: type = net::ResponseType::kTcpReset; break;
   }
-  return count(net::ProbeReply{type, source});
+  return finish_reply(node_id, net::ProbeReply{type, source}, slot);
 }
 
 net::ProbeReply Network::respond_indirect(NodeId node_id, const net::Probe& probe,
                                           InterfaceId incoming_iface,
                                           SubnetId origin_subnet,
                                           const ProbeSlot& slot) {
+  // Anonymous routers forward but never send Time Exceeded — the hop shows
+  // up as '*' in every trace regardless of retries.
+  if (faults_enabled_ && faults_.reply_policy(node_id).anonymous) {
+    fault_anonymous_.fetch_add(1, std::memory_order_relaxed);
+    return count(net::ProbeReply::none());
+  }
   const ResponseConfig& config =
       topology_.node(node_id).config_for(probe.protocol);
   if (config.indirect == ResponsePolicy::kNil)
@@ -136,7 +176,9 @@ net::ProbeReply Network::respond_indirect(NodeId node_id, const net::Probe& prob
       reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
                    origin_subnet, config.default_interface);
   if (source.is_unset()) return count(net::ProbeReply::none());
-  return count(net::ProbeReply{net::ResponseType::kTtlExceeded, source});
+  return finish_reply(node_id,
+                      net::ProbeReply{net::ResponseType::kTtlExceeded, source},
+                      slot);
 }
 
 net::ProbeReply Network::arp_fail(NodeId node_id, const net::Probe& probe,
@@ -154,7 +196,9 @@ net::ProbeReply Network::arp_fail(NodeId node_id, const net::Probe& probe,
       reply_source(node_id, config.indirect, kInvalidId, incoming_iface,
                    origin_subnet, config.default_interface);
   if (source.is_unset()) return count(net::ProbeReply::none());
-  return count(net::ProbeReply{net::ResponseType::kHostUnreachable, source});
+  return finish_reply(
+      node_id, net::ProbeReply{net::ResponseType::kHostUnreachable, source},
+      slot);
 }
 
 std::optional<RoutingTable::NextHop> Network::pick_next_hop(
@@ -194,6 +238,42 @@ net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
 
 std::vector<net::ProbeReply> Network::send_probe_batch(
     NodeId origin, std::span<const net::Probe> probes) {
+  const int window = faults_enabled_ ? faults_.reorder_window : 0;
+  if (window > 1 && probes.size() > 1) {
+    // Bounded reply reordering: overlapped round trips complete out of order,
+    // so the clock-visible processing order (slot claims, token-bucket
+    // admissions) is permuted within the wave. Each probe sorts by its batch
+    // position plus a jitter below `window`, bounding displacement to
+    // window-1 either way; the permutation is seeded from the spec seed and
+    // the wave's content, so a fixed wave always replays the same order.
+    // replies[i] still answers probes[i].
+    std::uint64_t wave_key = mix(faults_.seed ^ 0x5EC0DE0FDA7AULL);
+    for (const net::Probe& probe : probes)
+      wave_key = mix(wave_key ^
+                     (static_cast<std::uint64_t>(probe.target.value()) << 24) ^
+                     (static_cast<std::uint64_t>(probe.flow_id) << 10) ^
+                     (static_cast<std::uint64_t>(probe.attempt) << 8) ^
+                     static_cast<std::uint64_t>(probe.ttl));
+    util::Rng rng(wave_key);
+    std::vector<std::size_t> keys(probes.size());
+    std::vector<std::size_t> order(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      keys[i] = i + static_cast<std::size_t>(
+                        rng.below(static_cast<std::uint64_t>(window)));
+      order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](std::size_t a, std::size_t b) {
+                       return keys[a] < keys[b];
+                     });
+    std::vector<net::ProbeReply> replies(probes.size());
+    for (const std::size_t i : order) replies[i] = walk_probe(origin, probes[i]);
+    if (config_.wall_rtt_us > 0)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.wall_rtt_us));
+    return replies;
+  }
+
   std::vector<net::ProbeReply> replies;
   replies.reserve(probes.size());
   for (const net::Probe& probe : probes)
@@ -214,6 +294,26 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
   slot.sequence =
       probes_injected_.fetch_add(1, std::memory_order_relaxed) + 1;
 
+  // The probe's private fault keystream lives on this stack frame; draws are
+  // consumed in forwarding order, which is a pure function of (topology,
+  // probe), so outcomes do not depend on what other probes are in flight.
+  std::optional<util::Rng> fault_rng;
+  if (faults_enabled_) {
+    fault_rng.emplace(fault_draw_stream(faults_.seed, probe));
+    slot.fault_rng = &*fault_rng;
+    const FaultPolicy& def = faults_.default_policy;
+    // Default-policy forward faults are charged once, end to end, so the
+    // observed loss rate matches the configured one on any path length.
+    if (def.blackholes(probe.ttl)) {
+      fault_blackholed_.fetch_add(1, std::memory_order_relaxed);
+      return count(net::ProbeReply::none());
+    }
+    if (def.probe_loss > 0.0 && fault_rng->chance(def.probe_loss)) {
+      fault_probe_lost_.fetch_add(1, std::memory_order_relaxed);
+      return count(net::ProbeReply::none());
+    }
+  }
+
   const Node& origin_node = topology_.node(origin);
   if (origin_node.interfaces.empty()) return count(net::ProbeReply::none());
   const SubnetId origin_subnet =
@@ -232,6 +332,21 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
 
   for (int step = 0; step < config_.max_hops; ++step) {
     if (step_hook_) step_hook_(current, probe);
+
+    // Node-override forward faults are charged where the packet actually
+    // travels: entering an overridden node may black-hole or drop it.
+    if (faults_enabled_ && current != origin) {
+      if (const FaultPolicy* over = faults_.override_for(current)) {
+        if (over->blackholes(probe.ttl)) {
+          fault_blackholed_.fetch_add(1, std::memory_order_relaxed);
+          return count(net::ProbeReply::none());
+        }
+        if (over->probe_loss > 0.0 && fault_rng->chance(over->probe_loss)) {
+          fault_probe_lost_.fetch_add(1, std::memory_order_relaxed);
+          return count(net::ProbeReply::none());
+        }
+      }
+    }
 
     // Delivery: the packet is destined to one of this node's addresses.
     if (target_iface && topology_.interface(*target_iface).node == current) {

@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/faults.h"
 #include "sim/ratelimit.h"
 #include "sim/routing.h"
 #include "sim/topology.h"
+#include "util/rng.h"
 
 namespace tn::sim {
 
@@ -64,6 +66,16 @@ struct NetworkStats {
   std::uint64_t tcp_resets = 0;
   std::uint64_t silent = 0;
   std::uint64_t rate_limited = 0;  // responses suppressed by rate limiting
+
+  // Fault injection (sim/faults.h). Every event below also counts as silent.
+  std::uint64_t fault_probe_lost = 0;  // forward-path drops
+  std::uint64_t fault_reply_lost = 0;  // replies dropped on the way back
+  std::uint64_t fault_anonymous = 0;   // TTL-Exceeded suppressed (anonymous)
+  std::uint64_t fault_blackholed = 0;  // probes in a black-holed TTL range
+
+  std::uint64_t fault_drops() const noexcept {
+    return fault_probe_lost + fault_reply_lost + fault_blackholed;
+  }
 };
 
 class Network {
@@ -113,6 +125,16 @@ class Network {
   // Installs a response rate limiter on one node.
   void set_rate_limiter(NodeId node, RateLimiter limiter);
 
+  // Installs a fault scenario (sim/faults.h): probe/reply loss, anonymous
+  // routers, black-holed TTL ranges, per-node rate limiting and bounded
+  // reply reordering, all replayed byte-identically for a fixed
+  // (topology, spec, seed) triple. Rate limits named by the spec are
+  // installed as RateLimiters immediately. Install before probing starts;
+  // not safe to call concurrently with send_probe.
+  void set_faults(FaultSpec spec);
+  const FaultSpec& faults() const noexcept { return faults_; }
+  bool faults_enabled() const noexcept { return faults_enabled_; }
+
   // Test hook: invoked before each forwarding decision; lets tests flip links
   // or configs mid-walk to create §3.7 route changes. Cleared with {}.
   // Serial-only: install before probing and do not combine with concurrent
@@ -131,6 +153,10 @@ class Network {
     out.tcp_resets = tcp_resets_.load(std::memory_order_relaxed);
     out.silent = silent_.load(std::memory_order_relaxed);
     out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+    out.fault_probe_lost = fault_probe_lost_.load(std::memory_order_relaxed);
+    out.fault_reply_lost = fault_reply_lost_.load(std::memory_order_relaxed);
+    out.fault_anonymous = fault_anonymous_.load(std::memory_order_relaxed);
+    out.fault_blackholed = fault_blackholed_.load(std::memory_order_relaxed);
     return out;
   }
   void reset_stats() noexcept {
@@ -141,6 +167,10 @@ class Network {
     tcp_resets_.store(0, std::memory_order_relaxed);
     silent_.store(0, std::memory_order_relaxed);
     rate_limited_.store(0, std::memory_order_relaxed);
+    fault_probe_lost_.store(0, std::memory_order_relaxed);
+    fault_reply_lost_.store(0, std::memory_order_relaxed);
+    fault_anonymous_.store(0, std::memory_order_relaxed);
+    fault_blackholed_.store(0, std::memory_order_relaxed);
   }
   std::uint64_t now_us() const noexcept {
     return now_us_.load(std::memory_order_relaxed);
@@ -150,10 +180,13 @@ class Network {
  private:
   // The virtual-clock slot and global sequence number one probe claimed at
   // injection; all order-dependent draws key off these, not off shared
-  // mutable state, so walks can run concurrently.
+  // mutable state, so walks can run concurrently. `fault_rng` is the probe's
+  // private content-keyed keystream (sim/faults.h), nullptr when fault
+  // injection is off.
   struct ProbeSlot {
     std::uint64_t now_us = 0;
     std::uint64_t sequence = 0;
+    util::Rng* fault_rng = nullptr;
   };
 
   net::ProbeReply respond_direct(NodeId node, const net::Probe& probe,
@@ -176,6 +209,10 @@ class Network {
 
   bool admit_response(NodeId node, const ProbeSlot& slot);
 
+  // Applies the responder-side reply_loss draw, then counts the reply.
+  net::ProbeReply finish_reply(NodeId node, net::ProbeReply reply,
+                               const ProbeSlot& slot);
+
   std::optional<RoutingTable::NextHop> pick_next_hop(NodeId node,
                                                      const net::Probe& probe,
                                                      SubnetId target_subnet);
@@ -194,8 +231,18 @@ class Network {
   std::atomic<std::uint64_t> tcp_resets_{0};
   std::atomic<std::uint64_t> silent_{0};
   std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> fault_probe_lost_{0};
+  std::atomic<std::uint64_t> fault_reply_lost_{0};
+  std::atomic<std::uint64_t> fault_anonymous_{0};
+  std::atomic<std::uint64_t> fault_blackholed_{0};
 
   std::atomic<std::uint64_t> now_us_{0};
+
+  // Installed fault scenario. Written by set_faults before probing starts,
+  // read-only on the probe path (the enabled flag is a plain bool for the
+  // same reason the topology reference is).
+  FaultSpec faults_;
+  bool faults_enabled_ = false;
 
   // Token buckets and round-robin cursors are the only per-node mutable
   // state; both are rare on the probe path (rate-limited routers, per-packet

@@ -1,7 +1,9 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tn::util {
 
@@ -59,6 +61,19 @@ bool parse_u64(std::string_view text, std::uint64_t& out) noexcept {
     if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
     value = value * 10 + digit;
   }
+  out = value;
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) noexcept {
+  if (text.empty() || text.size() >= 64) return false;
+  char buffer[64];
+  text.copy(buffer, text.size());
+  buffer[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + text.size()) return false;
+  if (!std::isfinite(value) || value < 0.0) return false;
   out = value;
   return true;
 }

@@ -25,6 +25,11 @@ bool starts_with(std::string_view text, std::string_view prefix) noexcept;
 // overflow instead of throwing (used on untrusted topology files).
 bool parse_u64(std::string_view text, std::uint64_t& out) noexcept;
 
+// Parses a finite non-negative decimal number ("0.25", "100", "1e3"); returns
+// false on trailing garbage, negatives, NaN or infinity (used on untrusted
+// fault specs and CLI options).
+bool parse_double(std::string_view text, double& out) noexcept;
+
 // Fixed-point formatting without iostream state leakage: 3 -> "3.000".
 std::string format_double(double value, int decimals);
 

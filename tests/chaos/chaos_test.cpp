@@ -1,0 +1,194 @@
+// Chaos suite: the pinned reference topologies under a fault grid.
+//
+// Invariants enforced here:
+//   * zero faults are exactly free — with every fault probability zero the
+//     campaign's subnets_csv is byte-identical to the fault-free output,
+//     pinned by FNV-1a64 hash and byte count (the pre-fault-injection
+//     golden values);
+//   * lossy runs are deterministic — the same (topology, spec, seed) triple
+//     replays byte-identically, serial and parallel alike;
+//   * loss never helps — ground-truth accuracy under faults never exceeds
+//     the clean run's accuracy, at any grid point;
+//   * every observed subnet still contains its pivot;
+//   * the fault metrics are live — a lossy campaign reports nonzero
+//     probe.drops / probe.retries / trace.anonymous_hops.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/campaign.h"
+#include "eval/classification.h"
+#include "eval/report.h"
+#include "probe/sim_engine.h"
+#include "runtime/campaign.h"
+#include "runtime/metrics.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "topo/reference.h"
+
+namespace tn {
+namespace {
+
+// FNV-1a64: dependency-free content pin for the golden CSVs.
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+// Golden pins of the fault-free run_campaign subnets_csv on the pinned
+// references, captured before fault injection existed. The zero-fault path
+// must reproduce these bytes exactly.
+constexpr std::uint64_t kInternet2CsvHash = 0x25A7E62AEE858F8EULL;
+constexpr std::size_t kInternet2CsvBytes = 19013;
+constexpr std::uint64_t kGeantCsvHash = 0x27A66CA1EE6F77DEULL;
+constexpr std::size_t kGeantCsvBytes = 19285;
+
+topo::ReferenceTopology reference(bool geant) {
+  return geant ? topo::geant_like(43) : topo::internet2_like(42);
+}
+
+eval::VantageObservations run_with_faults(const topo::ReferenceTopology& ref,
+                                          const sim::FaultSpec& spec,
+                                          const eval::CampaignConfig& config = {}) {
+  sim::Network net(ref.topo);
+  net.set_faults(spec);
+  return eval::run_campaign(net, ref.vantage, "utdallas", ref.targets, config);
+}
+
+TEST(ChaosZeroFault, SubnetsCsvMatchesPrePrGoldenPins) {
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref = reference(geant);
+
+    // Entirely without faults, and with a spec whose probabilities are all
+    // zero (which must disable itself): identical golden bytes either way.
+    sim::Network plain_net(ref.topo);
+    const std::string plain = eval::subnets_csv(eval::run_campaign(
+        plain_net, ref.vantage, "utdallas", ref.targets, {}));
+    const std::string zeroed = eval::subnets_csv(
+        run_with_faults(ref, sim::FaultSpec::uniform_loss(0.0, 99)));
+
+    EXPECT_EQ(plain, zeroed);
+    EXPECT_EQ(plain.size(), geant ? kGeantCsvBytes : kInternet2CsvBytes);
+    EXPECT_EQ(fnv1a64(plain), geant ? kGeantCsvHash : kInternet2CsvHash);
+  }
+}
+
+TEST(ChaosGrid, LossyRunsAreDeterministicAndAnchored) {
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref = reference(geant);
+    for (const double loss : {0.05, 0.2}) {
+      for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        const sim::FaultSpec spec = sim::FaultSpec::uniform_loss(loss, seed);
+        const eval::VantageObservations first = run_with_faults(ref, spec);
+        const eval::VantageObservations second = run_with_faults(ref, spec);
+        EXPECT_EQ(eval::subnets_csv(first), eval::subnets_csv(second))
+            << ref.name << " loss=" << loss << " seed=" << seed;
+
+        for (const core::ObservedSubnet& subnet : first.subnets) {
+          EXPECT_TRUE(subnet.prefix.contains(subnet.pivot))
+              << subnet.to_string();
+          EXPECT_FALSE(subnet.members.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(ChaosGrid, AccuracyNeverImprovesUnderLoss) {
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref = reference(geant);
+
+    // Clean baseline, classified against ground truth with a fault-free
+    // audit network.
+    sim::Network clean_net(ref.topo);
+    const eval::VantageObservations clean = eval::run_campaign(
+        clean_net, ref.vantage, "utdallas", ref.targets, {});
+    sim::Network audit_net(ref.topo);
+    probe::SimProbeEngine audit(audit_net, ref.vantage);
+    const double clean_rate =
+        eval::classify(ref.registry, clean.subnets, audit).exact_rate();
+
+    for (const double loss : {0.05, 0.2}) {
+      for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        const eval::VantageObservations lossy =
+            run_with_faults(ref, sim::FaultSpec::uniform_loss(loss, seed));
+        const double lossy_rate =
+            eval::classify(ref.registry, lossy.subnets, audit).exact_rate();
+        EXPECT_LE(lossy_rate, clean_rate)
+            << ref.name << " loss=" << loss << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ChaosGrid, AnonymousAndRateLimitedScenarioStaysDeterministic) {
+  const topo::ReferenceTopology ref = reference(false);
+  sim::FaultSpec spec = sim::FaultSpec::uniform_loss(0.1, 7);
+  spec.default_policy.reply_loss = 0.05;
+  spec.default_policy.icmp_rate = 5000.0;
+  spec.default_policy.icmp_burst = 64.0;
+  // Make a couple of mid-path routers anonymous.
+  int marked = 0;
+  for (sim::NodeId id = 0; id < ref.topo.node_count() && marked < 2; ++id) {
+    if (ref.topo.node(id).is_host) continue;
+    if (id % 7 == 3) {
+      spec.node_overrides[id].anonymous = true;
+      ++marked;
+    }
+  }
+  ASSERT_GT(marked, 0);
+
+  const eval::VantageObservations first = run_with_faults(ref, spec);
+  const eval::VantageObservations second = run_with_faults(ref, spec);
+  EXPECT_EQ(eval::subnets_csv(first), eval::subnets_csv(second));
+  for (const core::ObservedSubnet& subnet : first.subnets)
+    EXPECT_TRUE(subnet.prefix.contains(subnet.pivot)) << subnet.to_string();
+}
+
+TEST(ChaosMetrics, LossyCampaignReportsDropsRetriesAndAnonymousHops) {
+  const topo::ReferenceTopology ref = reference(false);
+  sim::Network net(ref.topo);
+  net.set_faults(sim::FaultSpec::uniform_loss(0.2, 1));
+
+  runtime::RuntimeConfig config;
+  runtime::MetricsRegistry registry;
+  runtime::CampaignRuntime rt(net, ref.vantage, config, &registry);
+  const runtime::CampaignReport report = rt.run("utdallas", ref.targets);
+
+  EXPECT_FALSE(report.observations.subnets.empty());
+  EXPECT_GT(registry.counter("probe.drops").value(), 0u);
+  EXPECT_GT(registry.counter("probe.retries").value(), 0u);
+  EXPECT_GT(registry.counter("trace.anonymous_hops").value(), 0u);
+  // The network ledger agrees with the metric.
+  EXPECT_EQ(registry.counter("probe.drops").value(),
+            net.stats().fault_drops());
+}
+
+TEST(ChaosMetrics, ParallelLossyRuntimeMatchesSerialLossyRun) {
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref = reference(geant);
+    const sim::FaultSpec spec = sim::FaultSpec::uniform_loss(0.2, 1);
+
+    const eval::VantageObservations serial = run_with_faults(ref, spec);
+
+    sim::Network net(ref.topo);
+    net.set_faults(spec);
+    runtime::RuntimeConfig config;
+    config.jobs = 4;
+    config.campaign.session.probe_window = 16;
+    runtime::MetricsRegistry registry;
+    const eval::VantageObservations parallel = runtime::run_campaign_parallel(
+        net, ref.vantage, "utdallas", ref.targets, config, &registry);
+
+    EXPECT_EQ(eval::subnets_csv(serial), eval::subnets_csv(parallel))
+        << ref.name;
+  }
+}
+
+}  // namespace
+}  // namespace tn

@@ -9,8 +9,10 @@
 
 #include "eval/campaign.h"
 #include "eval/report.h"
+#include "probe/retry.h"
 #include "probe/sim_engine.h"
 #include "runtime/campaign.h"
+#include "sim/faults.h"
 #include "testutil.h"
 #include "topo/reference.h"
 
@@ -74,6 +76,64 @@ TEST(BatchProbing, WindowedParallelRuntimeMatchesSerialOnReferences) {
     EXPECT_GT(registry.counter("probe.waves").value(), 0u);
     EXPECT_GT(registry.counter("probe.batched_probes").value(), 0u);
     EXPECT_GT(registry.histogram("probe.window_occupancy").count(), 0u);
+  }
+}
+
+// Lossy wave through the retry layer: the whole wave goes out once, then
+// only the silent subset is re-probed (as a smaller second wave with bumped
+// attempt ordinals), so the wire bill is first-wave + silent, not 2x.
+TEST(BatchProbing, RetryReprobesOnlyTheSilentSubsetOfALossyWave) {
+  test::Fig3Topology f;
+  sim::Network net(f.topo);
+  net.set_faults(sim::FaultSpec::uniform_loss(0.4, 3));
+  probe::SimProbeEngine engine(net, f.vantage);
+  probe::RetryingProbeEngine retrying(engine, 2);
+
+  std::vector<net::Probe> wave(64);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    wave[i].target = f.pivot3;
+    wave[i].flow_id = static_cast<std::uint16_t>(i);
+  }
+  const auto replies = retrying.probe_batch(wave);
+
+  // Injected end-to-end loss at 0.4: some of the wave was silent on the
+  // first pass but far from all of it.
+  const std::uint64_t retried = retrying.retries_used();
+  ASSERT_GT(retried, 0u);
+  ASSERT_LT(retried, wave.size());
+  EXPECT_EQ(engine.probes_issued(), wave.size() + retried);
+
+  // Each retry rolled an independent fate, so most of the re-probed subset
+  // recovered; what is still silent after both tries is the double-loss tail.
+  std::size_t silent = 0;
+  for (const auto& reply : replies)
+    if (reply.is_none()) ++silent;
+  EXPECT_LT(silent, retried);
+}
+
+// The serial-equality contract extends to lossy networks: because fault
+// draws are keyed on probe content, a windowed lossy campaign produces the
+// same subnets_csv bytes as the serial lossy run of the same spec.
+TEST(BatchProbing, LossySubnetsCsvByteIdenticalToSerialLossyRun) {
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref =
+        geant ? topo::geant_like(43) : topo::internet2_like(42);
+    const sim::FaultSpec spec = sim::FaultSpec::uniform_loss(0.2, 1);
+
+    sim::Network serial_net(ref.topo);
+    serial_net.set_faults(spec);
+    const eval::VantageObservations serial = eval::run_campaign(
+        serial_net, ref.vantage, "utdallas", ref.targets, {});
+
+    for (const int window : {4, 32}) {
+      sim::Network net(ref.topo);
+      net.set_faults(spec);
+      eval::CampaignConfig config;
+      config.session.probe_window = window;
+      const eval::VantageObservations batched = eval::run_campaign(
+          net, ref.vantage, "utdallas", ref.targets, config);
+      expect_identical_csv(serial, batched);
+    }
   }
 }
 

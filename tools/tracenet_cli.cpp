@@ -25,6 +25,11 @@
 //                       simulator (NetworkConfig::wall_rtt_us), so campaign
 //                       runs and --metrics reflect RTT-bound profiles
 //   --pps N             aggregate probe budget, probes/second (0 = no cap)
+//   --loss P            simulated end-to-end probe loss probability (0..1)
+//   --fault-seed N      seed for the fault draws (default 0)
+//   --fault-spec FILE   full fault scenario: per-node loss, anonymous mode,
+//                       black-holed TTL ranges, ICMP rate limits, reply
+//                       reordering (see docs/FAULTS.md); simulator only
 //   --metrics text|json dump the runtime metrics registry after the run
 //   --csv FILE          write collected subnets as CSV
 //   --dot FILE          write the inferred router-level map as Graphviz DOT
@@ -66,6 +71,8 @@ int usage(const char* error) {
                "                    [--max-ttl N] [--retries N] [--multipath]\n"
                "                    [--jobs N] [--fast] [--window N] "
                "[--rtt-us N] [--pps N]\n"
+               "                    [--loss P] [--fault-seed N] "
+               "[--fault-spec FILE]\n"
                "                    [--metrics text|json]\n"
                "                    [--csv FILE] [--dot FILE] [--verbose] "
                "[targets...]\n");
@@ -160,7 +167,8 @@ int main(int argc, char** argv) {
   util::Args args({"live", "multipath", "verbose", "fast"},
                   {"demo", "topology", "targets", "vantage", "protocol",
                    "max-ttl", "retries", "csv", "dot", "jobs", "pps",
-                   "metrics", "window", "rtt-us"});
+                   "metrics", "window", "rtt-us", "loss", "fault-seed",
+                   "fault-spec"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
 
@@ -189,6 +197,18 @@ int main(int argc, char** argv) {
     return usage("bad --rtt-us");
   if (rtt_us > 0 && args.flag("live"))
     return usage("--rtt-us emulates RTT on the simulator; drop it for --live");
+  double loss = 0.0;
+  if (const auto text = args.option("loss");
+      text && (!util::parse_double(*text, loss) || loss > 1.0))
+    return usage("bad --loss (want a probability in [0,1])");
+  std::uint64_t fault_seed = 0;
+  if (!util::parse_u64(args.option_or("fault-seed", "0"), fault_seed))
+    return usage("bad --fault-seed");
+  const bool wants_faults = loss > 0.0 || args.option("fault-spec") ||
+                            args.option("fault-seed");
+  if (wants_faults && args.flag("live"))
+    return usage("--loss/--fault-seed/--fault-spec inject faults into the "
+                 "simulator; drop them for --live");
   const std::string metrics_format = args.option_or("metrics", "");
   if (!metrics_format.empty() && metrics_format != "text" &&
       metrics_format != "json")
@@ -232,6 +252,27 @@ int main(int argc, char** argv) {
     sim::NetworkConfig net_config;
     net_config.wall_rtt_us = rtt_us;
     network = std::make_unique<sim::Network>(world->topo, net_config);
+    if (wants_faults) {
+      sim::FaultSpec spec;
+      if (const auto path = args.option("fault-spec")) {
+        std::ifstream file(*path);
+        if (!file.good()) {
+          std::fprintf(stderr, "cannot open fault spec %s\n", path->c_str());
+          return 1;
+        }
+        try {
+          spec = sim::parse_fault_spec(file, world->topo);
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "%s\n", error.what());
+          return 1;
+        }
+      }
+      // The flags layer on top of the file: --loss sets (or overrides) the
+      // end-to-end default loss, --fault-seed the seed.
+      if (loss > 0.0) spec.default_policy.probe_loss = loss;
+      if (args.option("fault-seed")) spec.seed = fault_seed;
+      network->set_faults(std::move(spec));
+    }
     engine = std::make_unique<probe::SimProbeEngine>(*network, world->vantage);
     if (targets.empty()) targets = world->default_targets;
   }
