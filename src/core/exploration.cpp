@@ -43,6 +43,16 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
   StopReason stop = StopReason::kPrefixFloor;
   const int window = config_.probe_window < 1 ? 1 : config_.probe_window;
 
+  trace::Recorder* rec =
+      trace::on(config_.recorder, trace::Level::kSession) ? config_.recorder
+                                                          : nullptr;
+  if (rec != nullptr) {
+    std::string attrs;
+    trace::attr_str(attrs, "pivot", ctx.pivot.to_string());
+    trace::attr_num(attrs, "jh", ctx.jh);
+    rec->emit("explore", attrs);
+  }
+
   // Graceful degradation on lossy networks: stop growing (keeping what was
   // collected) once this exploration has spent its wire-probe budget.
   const auto budget_spent = [&] {
@@ -84,6 +94,18 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
       }
 
       const Verdict verdict = test_candidate(candidate, ctx);
+      if (rec != nullptr) {
+        std::string attrs;
+        trace::attr_str(attrs, "l", candidate.to_string());
+        trace::attr_num(attrs, "m", m);
+        trace::attr_str(attrs, "verdict",
+                        verdict == Verdict::kAdd     ? "add"
+                        : verdict == Verdict::kSkip  ? "skip"
+                                                     : "shrink");
+        if (verdict == Verdict::kShrink)
+          trace::attr_str(attrs, "fired", heuristic_code(ctx.fired));
+        rec->emit("heur", attrs);
+      }
       if (verdict == Verdict::kAdd) {
         members.insert(candidate);
       } else if (verdict == Verdict::kShrink) {
@@ -100,6 +122,14 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
       }
     }
     if (shrunk || out_of_budget) break;
+
+    if (rec != nullptr) {
+      std::string attrs;
+      trace::attr_num(attrs, "m", m);
+      trace::attr_num(attrs, "members",
+                      static_cast<std::int64_t>(members.size()));
+      rec->emit("level", attrs);
+    }
 
     // Algorithm 1 lines 19-21: stop when at most half the level's address
     // space was collected.
@@ -123,6 +153,11 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
     if (ctx.contra_pivot && !half.contains(*ctx.contra_pivot))
       ctx.contra_pivot.reset();
     prefix = minimal_covering(members, ctx.pivot);
+    if (rec != nullptr) {
+      std::string attrs;
+      trace::attr_str(attrs, "prefix", prefix.to_string());
+      rec->emit("h9", attrs);
+    }
   }
 
   ObservedSubnet out;
@@ -137,6 +172,21 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
   out.stop = stop;
   out.stopped_by = ctx.fired;
   out.probes_used = engine_.probes_issued() - probes_before;
+
+  if (rec != nullptr) {
+    // probes_used is deliberately absent: it counts wire probes, which vary
+    // with probe_window (prescan speculation), and the session journal is
+    // pinned byte-identical across windows.
+    std::string attrs;
+    trace::attr_str(attrs, "prefix", out.prefix.to_string());
+    trace::attr_num(attrs, "members",
+                    static_cast<std::int64_t>(out.members.size()));
+    trace::attr_str(attrs, "stop", to_string(stop));
+    trace::attr_str(attrs, "fired", heuristic_code(ctx.fired));
+    if (ctx.contra_pivot)
+      trace::attr_str(attrs, "contra", ctx.contra_pivot->to_string());
+    rec->emit("subnet", attrs);
+  }
 
   util::log(util::LogLevel::kDebug, "explore", "pivot ",
             ctx.pivot.to_string(), " -> ", out.to_string(), " (",

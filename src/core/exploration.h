@@ -18,6 +18,7 @@
 #include "core/positioning.h"
 #include "core/types.h"
 #include "probe/engine.h"
+#include "trace/journal.h"
 
 namespace tn::core {
 
@@ -53,6 +54,11 @@ struct ExplorerConfig {
   // collected so far is reported with StopReason::kProbeBudget instead of
   // probing further. The pivot is always retained.
   std::uint64_t probe_budget = 0;
+  // Journal destination for session-level exploration events (one `heur`
+  // event per heuristic-chain evaluation, growth levels, H9 splits, the
+  // final subnet verdict); nullptr = tracing off. Events sit on the serial
+  // walk, so they are identical across probe_window settings.
+  trace::Recorder* recorder = nullptr;
 };
 
 class SubnetExplorer {

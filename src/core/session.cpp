@@ -73,6 +73,14 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
 
   SessionResult result;
 
+  trace::Recorder* rec =
+      trace::on(recorder_, trace::Level::kSession) ? recorder_ : nullptr;
+  if (rec != nullptr) {
+    std::string attrs;
+    trace::attr_str(attrs, "proto", net::to_string(config_.protocol));
+    rec->emit("session", attrs);
+  }
+
   Traceroute tracer(*top_, config_.trace);
   result.path = tracer.run(destination);
   if (config_.probe_window > 1) prescan_positioning(result.path);
@@ -101,17 +109,47 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
       if (!covered && config_.covered_externally && config_.covered_externally(v))
         covered = true;
       if (covered) {
+        if (rec != nullptr) {
+          std::string attrs;
+          trace::attr_str(attrs, "addr", v.to_string());
+          rec->emit("hop_skip", attrs);
+        }
         previous = v;
         continue;
       }
     }
 
     const Position position = positioner.position(previous, v, hop.ttl);
+    if (rec != nullptr) {
+      std::string attrs;
+      trace::attr_str(attrs, "v", v.to_string());
+      trace::attr_num(attrs, "d", hop.ttl);
+      trace::attr_str(attrs, "pivot", position.pivot.to_string());
+      trace::attr_num(attrs, "jh", position.pivot_distance);
+      trace::attr_bool(attrs, "on_path", position.on_trace_path);
+      if (position.ingress)
+        trace::attr_str(attrs, "ingress", position.ingress->to_string());
+      if (position.trace_entry)
+        trace::attr_str(attrs, "entry", position.trace_entry->to_string());
+      rec->emit("position", attrs);
+    }
     result.subnets.push_back(explorer.explore(position));
     previous = v;
   }
 
   result.wire_probes = wire_engine_.probes_issued() - wire_before;
+  if (rec != nullptr) {
+    // wire_probes stays out of the journal: it varies with probe_window
+    // (speculative prescan waves), and the session journal is pinned
+    // byte-identical across windows.
+    std::string attrs;
+    trace::attr_num(attrs, "subnets",
+                    static_cast<std::int64_t>(result.subnets.size()));
+    trace::attr_num(attrs, "hops",
+                    static_cast<std::int64_t>(result.path.hops.size()));
+    trace::attr_bool(attrs, "reached", result.path.destination_reached);
+    rec->emit("session_done", attrs);
+  }
   util::log(util::LogLevel::kInfo, "session", "collected ",
             result.subnets.size(), " subnets toward ",
             destination.to_string(), " with ", result.wire_probes,

@@ -80,6 +80,18 @@ class TracenetSession {
   // Re-probes spent by the §3.8 retry layer so far (all runs).
   std::uint64_t retries_used() const noexcept { return retry_->retries_used(); }
 
+  // Journal destination for this session's events (flight recorder). Session
+  // objects are reused across targets, so the campaign runtime swaps the
+  // recorder per run; nullptr disables tracing. The pointer is propagated
+  // into the traceroute/explorer configs and the decorator stack.
+  void set_recorder(trace::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+    config_.trace.recorder = recorder;
+    config_.explore.recorder = recorder;
+    if (cache_) cache_->set_recorder(recorder);
+    if (retry_) retry_->set_recorder(recorder);
+  }
+
  private:
   // Windowed mode (probe_window > 1): warms the probe cache with the first
   // probes subnet positioning will pay for every named hop of `path` —
@@ -92,6 +104,7 @@ class TracenetSession {
   std::unique_ptr<probe::RetryingProbeEngine> retry_;
   std::unique_ptr<probe::CachingProbeEngine> cache_;
   probe::ProbeEngine* top_ = nullptr;  // top of the decorator stack
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace tn::core

@@ -19,6 +19,9 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
   std::vector<net::ProbeReply> wave;
   int wave_base = 0;
 
+  trace::Recorder* rec = config_.recorder;
+  const char* stop_reason = "max_ttl";
+
   int anonymous_run = 0;
   for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
     net::ProbeReply reply;
@@ -42,6 +45,12 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
       reply = wave[static_cast<std::size_t>(ttl - wave_base - 1)];
     }
     path.hops.push_back(TraceHop{ttl, reply});
+    if (trace::on(rec, trace::Level::kSession)) {
+      std::string attrs;
+      trace::attr_num(attrs, "ttl", ttl);
+      probe::append_reply_attrs(attrs, reply);
+      rec->emit("hop", attrs);
+    }
 
     // An alive-type reply to a TTL-scoped probe can only mean the probe was
     // delivered — the destination answered, possibly from another of its
@@ -50,6 +59,7 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
     if (net::is_alive_reply(config_.protocol, reply.type) ||
         (!reply.is_none() && reply.responder == destination)) {
       path.destination_reached = true;
+      stop_reason = "destination";
       break;
     }
 
@@ -58,6 +68,7 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
         util::log(util::LogLevel::kDebug, "traceroute",
                   "abandoning trace to ", destination.to_string(), " after ",
                   anonymous_run, " anonymous hops");
+        stop_reason = "gap";
         break;
       }
       continue;
@@ -72,8 +83,16 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
         path.hops[n - 3].reply.responder == reply.responder) {
       util::log(util::LogLevel::kDebug, "traceroute", "loop detected at ",
                 reply.responder.to_string());
+      stop_reason = "loop";
       break;
     }
+  }
+  if (trace::on(rec, trace::Level::kSession)) {
+    std::string attrs;
+    trace::attr_num(attrs, "hops", static_cast<std::int64_t>(path.hops.size()));
+    trace::attr_bool(attrs, "reached", path.destination_reached);
+    trace::attr_str(attrs, "reason", stop_reason);
+    rec->emit("trace_done", attrs);
   }
   return path;
 }

@@ -10,6 +10,7 @@
 
 #include "core/types.h"
 #include "probe/engine.h"
+#include "trace/journal.h"
 
 namespace tn::core {
 
@@ -28,6 +29,10 @@ struct TracerouteConfig {
   // probe a few TTLs past the stopping hop (extra wire probes, never extra
   // hops). 1 (the default) is the strictly sequential historical behavior.
   int probe_window = 1;
+  // Journal destination for session-level hop events; nullptr = tracing off.
+  // Hop events record *consumed* replies only, so they are identical across
+  // probe_window settings (a wave's discarded prefetches never appear).
+  trace::Recorder* recorder = nullptr;
 };
 
 class Traceroute {

@@ -27,6 +27,19 @@ std::string to_string(Heuristic heuristic) {
   return "?";
 }
 
+std::string_view heuristic_code(Heuristic heuristic) noexcept {
+  switch (heuristic) {
+    case Heuristic::kNone: return "none";
+    case Heuristic::kH2UpperBoundSubnet: return "H2";
+    case Heuristic::kH3SingleContraPivot: return "H3";
+    case Heuristic::kH4LowerBoundSubnet: return "H4";
+    case Heuristic::kH6FixedEntryPoints: return "H6";
+    case Heuristic::kH7UpperBoundRouter: return "H7";
+    case Heuristic::kH8LowerBoundRouter: return "H8";
+  }
+  return "?";
+}
+
 std::string ObservedSubnet::to_string() const {
   std::ostringstream os;
   os << prefix.to_string() << " {";

@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -39,6 +40,9 @@ enum class Heuristic : std::uint8_t {
 };
 
 std::string to_string(Heuristic heuristic);
+
+// Compact code for journals and CSVs: "none", "H2", "H3", ...
+std::string_view heuristic_code(Heuristic heuristic) noexcept;
 
 // One subnet sketched by tracenet.
 struct ObservedSubnet {

@@ -41,6 +41,13 @@ class CachingProbeEngine final : public ProbeEngine {
     misses_ = 0;
   }
 
+  // Journal destination for probe-level events. The recorder belongs to the
+  // session currently running on top of this (per-worker) engine; sessions
+  // swap it per target. May be nullptr (tracing off).
+  void set_recorder(trace::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   struct Key {
     std::uint32_t target;
@@ -66,13 +73,24 @@ class CachingProbeEngine final : public ProbeEngine {
   net::ProbeReply do_probe(const net::Probe& request) override {
     const Key key = key_of(request);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    const bool cached = it != cache_.end();
+    net::ProbeReply reply;
+    if (cached) {
       ++hits_;
-      return it->second;
+      reply = it->second;
+    } else {
+      ++misses_;
+      reply = inner_.probe(request);
+      if (cache_unresponsive_ || !reply.is_none()) cache_.emplace(key, reply);
     }
-    ++misses_;
-    const net::ProbeReply reply = inner_.probe(request);
-    if (cache_unresponsive_ || !reply.is_none()) cache_.emplace(key, reply);
+    if (trace::on(recorder_, trace::Level::kProbe)) {
+      std::string attrs;
+      trace::attr_str(attrs, "dst", request.target.to_string());
+      trace::attr_num(attrs, "ttl", request.ttl);
+      trace::attr_bool(attrs, "cached", cached);
+      append_reply_attrs(attrs, reply);
+      recorder_->emit("probe", attrs);
+    }
     return reply;
   }
 
@@ -113,6 +131,14 @@ class CachingProbeEngine final : public ProbeEngine {
       for (const auto& [request_index, miss_index] : duplicates)
         replies[request_index] = fresh[miss_index];
     }
+    if (trace::on(recorder_, trace::Level::kProbe)) {
+      std::string attrs;
+      trace::attr_num(attrs, "n", static_cast<std::int64_t>(requests.size()));
+      trace::attr_num(attrs, "hits",
+                      static_cast<std::int64_t>(requests.size() - misses.size()));
+      trace::attr_num(attrs, "misses", static_cast<std::int64_t>(misses.size()));
+      recorder_->emit("wave", attrs);
+    }
     return replies;
   }
 
@@ -121,6 +147,7 @@ class CachingProbeEngine final : public ProbeEngine {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   bool cache_unresponsive_ = true;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace tn::probe

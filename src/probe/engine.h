@@ -11,12 +11,23 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "net/ipv4.h"
 #include "net/packet.h"
+#include "trace/journal.h"
 
 namespace tn::probe {
+
+// Appends the journal attributes describing `reply`: its response type, and
+// the responder address when there is one. Shared by every instrumented
+// layer that logs a reply (decorators, trace collection).
+inline void append_reply_attrs(std::string& out, const net::ProbeReply& reply) {
+  trace::attr_str(out, "reply", net::to_string(reply.type));
+  if (!reply.is_none())
+    trace::attr_str(out, "from", reply.responder.to_string());
+}
 
 class ProbeEngine {
  public:

@@ -8,7 +8,9 @@
 // way a fresh packet would dodge the loss that ate its predecessor.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -46,18 +48,31 @@ class RetryingProbeEngine final : public ProbeEngine {
   RetryingProbeEngine(ProbeEngine& inner, int attempts = 2) noexcept
       : RetryingProbeEngine(inner, RetryConfig{.attempts = attempts}) {}
 
-  std::uint64_t retries_used() const noexcept { return retries_; }
+  std::uint64_t retries_used() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
   const RetryConfig& config() const noexcept { return config_; }
 
+  // Journal destination for probe-level retry events. Owned by the session
+  // currently above this engine; may be nullptr (tracing off).
+  void set_recorder(trace::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
-  // Whether target may still be charged a retry; charges it when yes.
+  // Whether target may still be charged a retry; charges it when yes. The
+  // budget map and total live behind a mutex / relaxed atomic: the engine is
+  // usually per-session, but nothing stops callers from stacking one engine
+  // under several campaign workers, and the retry path is rare enough that a
+  // lock costs nothing measurable.
   bool charge_retry(net::Ipv4Addr target) {
     if (config_.per_target_budget != 0) {
+      const std::lock_guard<std::mutex> lock(budget_mutex_);
       std::uint64_t& used = per_target_retries_[target.value()];
       if (used >= config_.per_target_budget) return false;
       ++used;
     }
-    ++retries_;
+    retries_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -72,15 +87,37 @@ class RetryingProbeEngine final : public ProbeEngine {
     std::this_thread::sleep_for(std::chrono::microseconds(capped));
   }
 
+  void trace_retry(const net::Probe& probe, const net::ProbeReply& reply) {
+    if (!trace::on(recorder_, trace::Level::kProbe)) return;
+    std::string attrs;
+    trace::attr_str(attrs, "dst", probe.target.to_string());
+    trace::attr_num(attrs, "ttl", probe.ttl);
+    trace::attr_num(attrs, "attempt", probe.attempt);
+    append_reply_attrs(attrs, reply);
+    recorder_->emit("retry", attrs);
+  }
+
+  void trace_retry_stop(const net::Probe& probe) {
+    if (!trace::on(recorder_, trace::Level::kProbe)) return;
+    std::string attrs;
+    trace::attr_str(attrs, "dst", probe.target.to_string());
+    trace::attr_num(attrs, "ttl", probe.ttl);
+    recorder_->emit("retry_stop", attrs);
+  }
+
   net::ProbeReply do_probe(const net::Probe& request) override {
     net::ProbeReply reply = inner_.probe(request);
     for (int attempt = 1; attempt < config_.attempts && reply.is_none();
          ++attempt) {
-      if (!charge_retry(request.target)) break;
+      if (!charge_retry(request.target)) {
+        trace_retry_stop(request);
+        break;
+      }
       backoff(attempt);
       net::Probe again = request;
       again.attempt = static_cast<std::uint8_t>(attempt);
       reply = inner_.probe(again);
+      trace_retry(again, reply);
     }
     return reply;
   }
@@ -96,7 +133,10 @@ class RetryingProbeEngine final : public ProbeEngine {
       std::vector<std::size_t> again_request;
       for (std::size_t i = 0; i < replies.size(); ++i) {
         if (!replies[i].is_none()) continue;
-        if (!charge_retry(requests[i].target)) continue;
+        if (!charge_retry(requests[i].target)) {
+          trace_retry_stop(requests[i]);
+          continue;
+        }
         net::Probe retry = requests[i];
         retry.attempt = static_cast<std::uint8_t>(attempt);
         again.push_back(retry);
@@ -105,16 +145,20 @@ class RetryingProbeEngine final : public ProbeEngine {
       if (again.empty()) break;
       backoff(attempt);
       const std::vector<net::ProbeReply> fresh = inner_.probe_batch(again);
-      for (std::size_t j = 0; j < again.size(); ++j)
+      for (std::size_t j = 0; j < again.size(); ++j) {
         replies[again_request[j]] = fresh[j];
+        trace_retry(again[j], fresh[j]);
+      }
     }
     return replies;
   }
 
   ProbeEngine& inner_;
   RetryConfig config_;
-  std::uint64_t retries_ = 0;
+  std::atomic<std::uint64_t> retries_{0};
+  std::mutex budget_mutex_;
   std::unordered_map<std::uint32_t, std::uint64_t> per_target_retries_;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace tn::probe

@@ -67,6 +67,31 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   std::atomic<std::uint64_t> sessions_run{0};
   std::atomic<std::uint64_t> stop_set_skips{0};
 
+  // Flight recorder: a null or off sink degenerates to nullptr checks.
+  trace::EventSink* sink = config_.trace_sink;
+  if (sink != nullptr && sink->level() == trace::Level::kOff) sink = nullptr;
+  trace::Recorder* campaign_rec =
+      sink != nullptr ? sink->open(trace::kCampaignOrdinal, "campaign")
+                      : nullptr;
+  if (trace::on(campaign_rec, trace::Level::kSession)) {
+    std::string attrs;
+    trace::attr_num(attrs, "targets", static_cast<std::int64_t>(count));
+    trace::attr_str(attrs, "level", trace::to_string(sink->level()));
+    campaign_rec->emit("campaign", attrs);
+  }
+  // Span events carry wall-clock only when the sink opted in: timings are
+  // inherently schedule-dependent, and the default journal must stay
+  // byte-identical across --jobs / --window.
+  const auto span = [&](const char* phase,
+                        std::chrono::steady_clock::time_point since) {
+    if (!trace::on(campaign_rec, trace::Level::kSession)) return;
+    std::string attrs;
+    trace::attr_str(attrs, "phase", phase);
+    if (campaign_rec->with_timings())
+      trace::attr_num(attrs, "us", static_cast<std::int64_t>(elapsed_us(since)));
+    campaign_rec->emit("span", attrs);
+  };
+
   const bool skip_targets =
       config_.share_stop_set && config_.campaign.skip_covered_targets;
 
@@ -100,8 +125,11 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
         }
       }
 
+      if (sink != nullptr)
+        session.set_recorder(sink->open(index, target.to_string()));
       const auto started = std::chrono::steady_clock::now();
       core::SessionResult result = session.run(target);
+      if (sink != nullptr) session.set_recorder(nullptr);
       latency_hist.record(elapsed_us(started));
       probes_hist.record(result.wire_probes);
       retries_counter.add(session.retries_used() - retries_seen);
@@ -118,6 +146,7 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   const std::size_t jobs = static_cast<std::size_t>(
       config_.jobs < 1 ? 1 : config_.jobs);
   const std::size_t worker_count = count == 0 ? 0 : std::min(jobs, count);
+  const auto probe_started = std::chrono::steady_clock::now();
   if (worker_count <= 1) {
     if (count > 0) worker();
   } else {
@@ -126,6 +155,7 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
     for (std::size_t i = 0; i < worker_count; ++i) pool.emplace_back(worker);
     for (std::thread& thread : pool) thread.join();
   }
+  span("probe", probe_started);
 
   // Canonical merge: replay the serial driver's loop over the per-target
   // results, in target order, through the exact code the serial path uses.
@@ -133,10 +163,16 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   eval::CampaignAccumulator acc(vantage_name, count);
   probe::ForwardingProbeEngine merge_engine(*base);
   std::optional<core::TracenetSession> fallback;
+  const auto merge_started = std::chrono::steady_clock::now();
   for (std::size_t index = 0; index < count; ++index) {
     const net::Ipv4Addr target = targets[index];
     if (config_.campaign.skip_covered_targets && acc.covered(target)) {
       acc.note_covered();
+      // A worker may have traced this target before its covering subnet
+      // landed; the serial replay discards that session, so its journal
+      // buffer goes too — the merged journal must list exactly the sessions
+      // a serial run would have produced.
+      if (sink != nullptr) sink->drop(index);
       continue;
     }
     if (!results[index]) {
@@ -151,13 +187,17 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       // (its covering subnet came from a target the replay discards).
       // Re-trace it now for serial-identical output.
       if (!fallback) fallback.emplace(merge_engine, config_.campaign.session);
+      if (sink != nullptr)
+        fallback->set_recorder(sink->open(index, target.to_string()));
       results[index] = fallback->run(target);
+      if (sink != nullptr) fallback->set_recorder(nullptr);
       ++report.fallback_sessions;
       fallback_counter.add();
     }
     acc.add(*results[index]);
     report.sessions.push_back(std::move(*results[index]));
   }
+  span("merge", merge_started);
 
   // Anonymous hops over the sessions the merge accepted: '*' entries a live
   // trace would print, whether from genuinely silent routers or injected
@@ -181,6 +221,18 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   report.sessions_run = sessions_run.load(std::memory_order_relaxed);
   report.stop_set_skips = stop_set_skips.load(std::memory_order_relaxed);
   report.stop_set_prefixes = subnet_cache.stop_set().size();
+
+  if (trace::on(campaign_rec, trace::Level::kSession)) {
+    // Only replay-invariant fields: sessions_run / wire_probes are
+    // schedule-dependent and would break cross-jobs byte identity.
+    std::string attrs;
+    trace::attr_num(attrs, "sessions",
+                    static_cast<std::int64_t>(report.sessions.size()));
+    trace::attr_num(
+        attrs, "subnets",
+        static_cast<std::int64_t>(report.observations.subnets.size()));
+    campaign_rec->emit("campaign_done", attrs);
+  }
 
   if (shared_cache) {
     m.counter("probe.shared_cache.hits").add(shared_cache->hits());

@@ -33,6 +33,7 @@
 #include "eval/campaign.h"
 #include "runtime/metrics.h"
 #include "sim/network.h"
+#include "trace/journal.h"
 
 namespace tn::runtime {
 
@@ -56,6 +57,13 @@ struct RuntimeConfig {
   // Off = fast mode: skip eagerly on any stop-set hit, hop-level included;
   // output remains merged in target order but is schedule-dependent.
   bool deterministic = true;
+
+  // Flight-recorder sink (docs/TRACING.md). Workers open one recorder per
+  // claimed target; buffers of sessions the canonical merge rejects are
+  // dropped, so the merged journal covers exactly the sessions a serial run
+  // would have produced and its session-level bytes are jobs/window
+  // invariant. nullptr (the default) disables tracing entirely.
+  trace::EventSink* trace_sink = nullptr;
 };
 
 struct CampaignReport {

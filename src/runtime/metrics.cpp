@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace tn::runtime {
 
 namespace {
@@ -61,7 +63,9 @@ double Histogram::mean() const noexcept {
 std::uint64_t Histogram::quantile(double q) const noexcept {
   const std::uint64_t n = count();
   if (n == 0) return 0;
-  if (q < 0.0) q = 0.0;
+  // `!(q >= 0)` also catches NaN, which would slip past both range checks
+  // and make the rank cast below undefined.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the q-quantile, 1-based; walk buckets until it is passed.
   const std::uint64_t rank =
@@ -110,14 +114,14 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << c->value();
+    os << "\"" << util::json_escape(name) << "\":" << c->value();
   }
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":{\"count\":" << h->count() << ",\"sum\":"
+    os << "\"" << util::json_escape(name) << "\":{\"count\":" << h->count() << ",\"sum\":"
        << h->sum() << ",\"min\":" << h->min() << ",\"mean\":" << h->mean()
        << ",\"p50\":" << h->quantile(0.5) << ",\"p90\":" << h->quantile(0.9)
        << ",\"max\":" << h->max() << "}";

@@ -46,6 +46,7 @@ class ProbePacer {
   void acquire(std::size_t n = 1) {
     if (!enabled_ || n == 0) return;
     const double want = static_cast<double>(n);
+    bool counted_wait = false;
     for (;;) {
       std::chrono::duration<double> shortfall{};
       {
@@ -63,7 +64,13 @@ class ProbePacer {
         }
         shortfall = std::chrono::duration<double>((need - tokens_) / rate_);
       }
-      throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+      // One throttled *wave*, however many times the wait loop spins before
+      // the wave is admitted (contending workers can steal the refill and
+      // force another lap).
+      if (!counted_wait) {
+        throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+        counted_wait = true;
+      }
       std::this_thread::sleep_for(shortfall);
     }
   }

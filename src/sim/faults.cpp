@@ -21,35 +21,37 @@ std::uint64_t mix(std::uint64_t seed) noexcept {
   return seed;
 }
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::invalid_argument("fault spec line " + std::to_string(line) + ": " +
-                              what);
+[[noreturn]] void fail(std::string_view source, int line,
+                       const std::string& what) {
+  throw std::invalid_argument(std::string(source) + ":" +
+                              std::to_string(line) + ": " + what);
 }
 
-double parse_probability(int line, const std::string& key,
-                         const std::string& value) {
+double parse_probability(std::string_view source, int line,
+                         const std::string& key, const std::string& value) {
   double p = 0.0;
   if (!util::parse_double(value, p) || p > 1.0)
-    fail(line, key + " wants a probability in [0,1], got '" + value + "'");
+    fail(source, line, key + " wants a probability in [0,1], got '" + value + "'");
   return p;
 }
 
 // One "key=value ..." tail applied onto `policy`.
-void apply_fields(int line, const std::vector<std::string>& fields,
-                  std::size_t first, FaultPolicy& policy) {
+void apply_fields(std::string_view source, int line,
+                  const std::vector<std::string>& fields, std::size_t first,
+                  FaultPolicy& policy) {
   for (std::size_t i = first; i < fields.size(); ++i) {
     const auto eq = fields[i].find('=');
     if (eq == std::string::npos)
-      fail(line, "expected key=value, got '" + fields[i] + "'");
+      fail(source, line, "expected key=value, got '" + fields[i] + "'");
     const std::string key = fields[i].substr(0, eq);
     const std::string value = fields[i].substr(eq + 1);
     if (key == "loss") {
-      policy.probe_loss = parse_probability(line, key, value);
+      policy.probe_loss = parse_probability(source, line, key, value);
     } else if (key == "reply-loss") {
-      policy.reply_loss = parse_probability(line, key, value);
+      policy.reply_loss = parse_probability(source, line, key, value);
     } else if (key == "anonymous") {
       if (value != "0" && value != "1")
-        fail(line, "anonymous wants 0 or 1, got '" + value + "'");
+        fail(source, line, "anonymous wants 0 or 1, got '" + value + "'");
       policy.anonymous = value == "1";
     } else if (key == "blackhole-ttl") {
       const auto dash = value.find('-');
@@ -60,7 +62,8 @@ void apply_fields(int line, const std::vector<std::string>& fields,
               : util::parse_u64(value.substr(0, dash), lo) &&
                     util::parse_u64(value.substr(dash + 1), hi);
       if (!ok || lo == 0 || hi > 255 || lo > hi)
-        fail(line, "blackhole-ttl wants LO-HI in 1..255, got '" + value + "'");
+        fail(source, line,
+             "blackhole-ttl wants LO-HI in 1..255, got '" + value + "'");
       policy.blackhole_ttl_lo = static_cast<int>(lo);
       policy.blackhole_ttl_hi = static_cast<int>(hi);
     } else if (key == "rate") {
@@ -70,14 +73,19 @@ void apply_fields(int line, const std::vector<std::string>& fields,
           slash == std::string::npos ? value : value.substr(0, slash);
       double rate = 0.0, burst = 8.0;
       if (!util::parse_double(rate_text, rate) || rate <= 0.0)
-        fail(line, "rate wants RATE[/BURST] with RATE > 0, got '" + value + "'");
+        fail(source, line,
+             "rate wants RATE[/BURST] with RATE > 0, got '" + value + "'");
       if (slash != std::string::npos &&
           (!util::parse_double(value.substr(slash + 1), burst) || burst < 1.0))
-        fail(line, "rate burst wants a number >= 1, got '" + value + "'");
+        fail(source, line, "rate burst wants a number >= 1, got '" + value + "'");
       policy.icmp_rate = rate;
       policy.icmp_burst = burst;
     } else {
-      fail(line, "unknown key '" + key + "'");
+      // A typo like `repy-loss=0.1` must be an error, not a silently ignored
+      // knob; name the alternatives so the fix is obvious.
+      fail(source, line,
+           "unknown key '" + key +
+               "' (known: loss, reply-loss, anonymous, blackhole-ttl, rate)");
     }
   }
 }
@@ -104,7 +112,8 @@ util::Rng fault_draw_stream(std::uint64_t seed,
   return util::Rng(mix(mix(seed ^ 0x7A0B5CEDFA17ULL) ^ key));
 }
 
-FaultSpec parse_fault_spec(std::istream& in, const Topology& topology) {
+FaultSpec parse_fault_spec(std::istream& in, const Topology& topology,
+                           std::string_view source) {
   FaultSpec spec;
   std::string raw;
   int line_number = 0;
@@ -116,23 +125,25 @@ FaultSpec parse_fault_spec(std::istream& in, const Topology& topology) {
 
     if (fields[0] == "seed") {
       if (fields.size() != 2 || !util::parse_u64(fields[1], spec.seed))
-        fail(line_number, "seed wants one unsigned integer");
+        fail(source, line_number, "seed wants one unsigned integer");
     } else if (fields[0] == "reorder") {
       std::uint64_t window = 0;
       if (fields.size() != 2 || !util::parse_u64(fields[1], window) ||
           window > 1024)
-        fail(line_number, "reorder wants a window in 0..1024");
+        fail(source, line_number, "reorder wants a window in 0..1024");
       spec.reorder_window = static_cast<int>(window);
     } else if (fields[0] == "default") {
-      apply_fields(line_number, fields, 1, spec.default_policy);
+      apply_fields(source, line_number, fields, 1, spec.default_policy);
     } else if (fields[0] == "node") {
       if (fields.size() < 3)
-        fail(line_number, "node wants a name and at least one key=value");
+        fail(source, line_number, "node wants a name and at least one key=value");
       const auto id = find_node(topology, fields[1]);
-      if (!id) fail(line_number, "unknown node '" + fields[1] + "'");
-      apply_fields(line_number, fields, 2, spec.node_overrides[*id]);
+      if (!id) fail(source, line_number, "unknown node '" + fields[1] + "'");
+      apply_fields(source, line_number, fields, 2, spec.node_overrides[*id]);
     } else {
-      fail(line_number, "unknown directive '" + fields[0] + "'");
+      fail(source, line_number,
+           "unknown directive '" + fields[0] +
+               "' (known: seed, reorder, default, node)");
     }
   }
   return spec;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/packet.h"
@@ -136,7 +137,10 @@ util::Rng fault_draw_stream(std::uint64_t seed, const net::Probe& probe) noexcep
 //   node R5 loss=0.5 rate=10/2
 //
 // Node names are resolved against `topology`; throws std::invalid_argument
-// on syntax errors, out-of-range probabilities or unknown node names.
-FaultSpec parse_fault_spec(std::istream& in, const Topology& topology);
+// on syntax errors, unknown keys or directives, out-of-range probabilities
+// or unknown node names. Errors are reported as "<source>:<line>: <what>",
+// so pass the file path as `source` when parsing a file (the CLI does).
+FaultSpec parse_fault_spec(std::istream& in, const Topology& topology,
+                           std::string_view source = "fault spec");
 
 }  // namespace tn::sim

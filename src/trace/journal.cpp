@@ -1,0 +1,94 @@
+#include "trace/journal.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace tn::trace {
+
+std::string to_string(Level level) {
+  switch (level) {
+    case Level::kOff: return "off";
+    case Level::kSession: return "session";
+    case Level::kProbe: return "probe";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view text) {
+  if (text == "off") return Level::kOff;
+  if (text == "session") return Level::kSession;
+  if (text == "probe") return Level::kProbe;
+  return std::nullopt;
+}
+
+void attr_str(std::string& out, std::string_view key, std::string_view value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  util::append_json_escaped(out, value);
+  out += '"';
+}
+
+void attr_num(std::string& out, std::string_view key, std::int64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void attr_bool(std::string& out, std::string_view key, bool value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += value ? "true" : "false";
+}
+
+Recorder::Recorder(std::string_view label, Level level, bool with_timings)
+    : level_(level), with_timings_(with_timings) {
+  prefix_ = "{\"target\":\"";
+  util::append_json_escaped(prefix_, label);
+  prefix_ += "\",\"seq\":";
+}
+
+void Recorder::emit(std::string_view type, std::string_view attrs) {
+  buffer_ += prefix_;
+  buffer_ += std::to_string(seq_++);
+  buffer_ += ",\"ev\":\"";
+  buffer_ += type;
+  buffer_ += '"';
+  buffer_ += attrs;
+  buffer_ += "}\n";
+}
+
+JsonlTraceWriter::JsonlTraceWriter(Level level, bool with_timings)
+    : level_(level), with_timings_(with_timings) {}
+
+Recorder* JsonlTraceWriter::open(std::uint64_t ordinal, std::string_view label) {
+  if (level_ == Level::kOff) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = shards_[ordinal];
+  slot = std::make_unique<Recorder>(label, level_, with_timings_);
+  return slot.get();
+}
+
+void JsonlTraceWriter::drop(std::uint64_t ordinal) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.erase(ordinal);
+}
+
+std::string JsonlTraceWriter::merged() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& [ordinal, shard] : shards_) total += shard->bytes().size();
+  out.reserve(total);
+  for (const auto& [ordinal, shard] : shards_) out += shard->bytes();
+  return out;
+}
+
+void JsonlTraceWriter::write(std::ostream& out) const {
+  out << merged();
+}
+
+}  // namespace tn::trace

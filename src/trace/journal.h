@@ -1,0 +1,138 @@
+// Flight-recorder event journal: per-probe / per-decision provenance.
+//
+// The campaign runtime only exposes aggregates (MetricsRegistry), so a wrong
+// /29-vs-/30 call is undebuggable after the fact. The journal records one
+// JSONL event per interesting decision — trace hops, heuristic verdicts,
+// cache hits, retries — into per-target `Recorder` buffers that are merged
+// deterministically by (target ordinal, sequence number), exactly like
+// `eval::CampaignAccumulator` merges session results. Because session-level
+// instrumentation sits on the serial heuristic walk (which PRs 2-4 pinned to
+// be schedule- and window-invariant) the merged session journal is
+// byte-identical across --jobs and --window for the same (topology, seed,
+// fault spec); probe-level events additionally expose the decorator stack's
+// wire view, which is reproducible for serial runs at a fixed window but
+// intentionally schedule-dependent otherwise (shared-cache hits and retry
+// patterns depend on what other workers probed first, and prescan waves are
+// the point of windowing).
+//
+// Cost model: disabled tracing is one null-pointer branch per would-be event
+// (every instrumentation point starts with `if (trace::on(rec, level))`).
+// Enabled tracing appends to a plain std::string owned by exactly one worker
+// — no locks on the hot path; the writer's mutex only guards the rare
+// open/drop of whole per-target buffers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tn::trace {
+
+// How much to record. kSession captures the decision narrative (hops,
+// positioning, heuristic verdicts, stop reasons); kProbe additionally
+// captures the decorator stack (cache hits/misses, waves, retries).
+enum class Level : std::uint8_t { kOff = 0, kSession = 1, kProbe = 2 };
+
+std::string to_string(Level level);
+std::optional<Level> parse_level(std::string_view text);
+
+// Attribute helpers: each appends `,"key":<value>` to `out`. Values are
+// JSON-escaped; keys are trusted literals at the call sites.
+void attr_str(std::string& out, std::string_view key, std::string_view value);
+void attr_num(std::string& out, std::string_view key, std::int64_t value);
+void attr_bool(std::string& out, std::string_view key, bool value);
+
+// One target's event buffer. NOT thread-safe: a recorder is owned by the one
+// worker currently running that target's session, which is also what makes
+// its bytes deterministic — events land in program order of the serial walk.
+class Recorder {
+ public:
+  Recorder(std::string_view label, Level level, bool with_timings);
+
+  // True when events of `level` should be recorded.
+  bool wants(Level level) const noexcept {
+    return level != Level::kOff &&
+           static_cast<std::uint8_t>(level) <= static_cast<std::uint8_t>(level_);
+  }
+
+  // True when wall-clock fields (inherently non-deterministic) are wanted.
+  bool with_timings() const noexcept { return with_timings_; }
+
+  // Appends `{"target":<label>,"seq":N,"ev":<type><attrs>}\n`. `type` is a
+  // trusted literal; `attrs` must be built with the attr_* helpers.
+  void emit(std::string_view type, std::string_view attrs = {});
+
+  const std::string& bytes() const noexcept { return buffer_; }
+  std::uint64_t events() const noexcept { return seq_; }
+
+ private:
+  std::string prefix_;  // precomputed `{"target":"...","seq":`
+  std::string buffer_;
+  std::uint64_t seq_ = 0;
+  Level level_;
+  bool with_timings_;
+};
+
+// True when `rec` is live and records events of `level`. The whole cost of
+// disabled tracing: one branch.
+inline bool on(const Recorder* rec, Level level) noexcept {
+  return rec != nullptr && rec->wants(level);
+}
+
+// Where recorders come from. `open` hands out a recorder for one target
+// ordinal (thread-safe; workers call it concurrently); `drop` discards a
+// buffer whose session the deterministic merge rejected.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual Level level() const noexcept = 0;
+
+  // Returns the recorder for `ordinal` (creating or replacing it), or
+  // nullptr when tracing is off. The pointer stays valid until the same
+  // ordinal is re-opened or dropped.
+  virtual Recorder* open(std::uint64_t ordinal, std::string_view label) = 0;
+
+  // Discards the buffer opened under `ordinal`, if any.
+  virtual void drop(std::uint64_t ordinal) = 0;
+};
+
+// Disabled tracing: open() returns nullptr, so every instrumentation point
+// reduces to the null-pointer branch in trace::on.
+class NullEventSink final : public EventSink {
+ public:
+  Level level() const noexcept override { return Level::kOff; }
+  Recorder* open(std::uint64_t, std::string_view) override { return nullptr; }
+  void drop(std::uint64_t) override {}
+};
+
+// Ordinal reserved for the campaign-wide stream (span events); sorts after
+// every target so the journal ends with the campaign summary.
+inline constexpr std::uint64_t kCampaignOrdinal = ~0ULL;
+
+// Sharded JSONL writer: one buffer per target, merged by (ordinal, seq).
+class JsonlTraceWriter final : public EventSink {
+ public:
+  explicit JsonlTraceWriter(Level level, bool with_timings = false);
+
+  Level level() const noexcept override { return level_; }
+  Recorder* open(std::uint64_t ordinal, std::string_view label) override;
+  void drop(std::uint64_t ordinal) override;
+
+  // The merged journal: every live buffer concatenated in ordinal order.
+  std::string merged() const;
+  void write(std::ostream& out) const;
+
+ private:
+  Level level_;
+  bool with_timings_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Recorder>> shards_;
+};
+
+}  // namespace tn::trace

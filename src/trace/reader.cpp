@@ -1,0 +1,144 @@
+#include "trace/reader.h"
+
+#include <istream>
+#include <stdexcept>
+
+namespace tn::trace {
+
+namespace {
+
+// Finds the value start of `"key":` at object level. Inside string values
+// every `"` byte is escape-prefixed, so a quote preceded by `{` or `,` can
+// only be the start of a key.
+std::size_t find_value(std::string_view line, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  std::size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+    if (pos > 0 && (line[pos - 1] == '{' || line[pos - 1] == ','))
+      return pos + needle.size();
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+std::optional<std::string> parse_string_at(std::string_view line,
+                                           std::size_t pos) {
+  if (pos >= line.size() || line[pos] != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= line.size()) return std::nullopt;
+    switch (line[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= line.size()) return std::nullopt;
+        unsigned value = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = line[i + static_cast<std::size_t>(k)];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return std::nullopt;
+        }
+        // The writer only emits \u00XX for control bytes.
+        out += static_cast<char>(value & 0xFF);
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unterminated
+}
+
+std::optional<std::int64_t> parse_number_at(std::string_view line,
+                                            std::size_t pos) {
+  if (pos >= line.size()) return std::nullopt;
+  bool negative = false;
+  if (line[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9')
+    return std::nullopt;
+  std::int64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  return negative ? -value : value;
+}
+
+}  // namespace
+
+std::optional<std::string> JournalEvent::str(std::string_view key) const {
+  const std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return parse_string_at(line, pos);
+}
+
+std::optional<std::int64_t> JournalEvent::num(std::string_view key) const {
+  const std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return parse_number_at(line, pos);
+}
+
+std::optional<bool> JournalEvent::boolean(std::string_view key) const {
+  const std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  if (line.substr(pos, 4) == "true") return true;
+  if (line.substr(pos, 5) == "false") return false;
+  return std::nullopt;
+}
+
+std::optional<JournalEvent> parse_line(std::string_view line) {
+  JournalEvent event;
+  event.line = std::string(line);
+  const std::size_t target_pos = find_value(line, "target");
+  const std::size_t seq_pos = find_value(line, "seq");
+  const std::size_t ev_pos = find_value(line, "ev");
+  if (target_pos == std::string_view::npos ||
+      seq_pos == std::string_view::npos || ev_pos == std::string_view::npos)
+    return std::nullopt;
+  const auto target = parse_string_at(line, target_pos);
+  const auto seq = parse_number_at(line, seq_pos);
+  const auto type = parse_string_at(line, ev_pos);
+  if (!target || !seq || *seq < 0 || !type) return std::nullopt;
+  event.target = *target;
+  event.seq = static_cast<std::uint64_t>(*seq);
+  event.type = *type;
+  return event;
+}
+
+std::vector<JournalEvent> read_journal(std::istream& in) {
+  std::vector<JournalEvent> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto event = parse_line(line);
+    if (!event)
+      throw std::runtime_error("journal line " + std::to_string(line_no) +
+                               ": malformed event");
+    out.push_back(std::move(*event));
+  }
+  return out;
+}
+
+}  // namespace tn::trace

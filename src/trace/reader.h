@@ -1,0 +1,37 @@
+// Journal reader: parses the flat one-level JSONL lines the writer emits.
+//
+// Not a general JSON parser — it exploits the journal's invariants (every
+// line is one flat object, every `"` inside a string value is escaped) so
+// tools and tests can extract fields without a JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tn::trace {
+
+struct JournalEvent {
+  std::string target;
+  std::uint64_t seq = 0;
+  std::string type;
+  std::string line;  // the raw line, for extra field extraction
+
+  // Extracts `"key":"..."` (unescaped) / `"key":<int>` / `"key":<bool>`
+  // from the raw line; nullopt when the key is absent or mistyped.
+  std::optional<std::string> str(std::string_view key) const;
+  std::optional<std::int64_t> num(std::string_view key) const;
+  std::optional<bool> boolean(std::string_view key) const;
+};
+
+// Parses one journal line; nullopt on malformed input (missing target/seq/ev).
+std::optional<JournalEvent> parse_line(std::string_view line);
+
+// Reads a whole journal, skipping blank lines. Throws std::runtime_error on
+// the first malformed line, reporting its 1-based line number.
+std::vector<JournalEvent> read_journal(std::istream& in);
+
+}  // namespace tn::trace

@@ -37,4 +37,13 @@ std::string format_double(double value, int decimals);
 // denominator is zero.
 std::string percent(std::uint64_t numerator, std::uint64_t denominator, int decimals = 1);
 
+// Appends `text` to `out` with JSON string escaping applied (quotes,
+// backslashes, and control characters; no surrounding quotes). Shared by the
+// metrics registry and the trace journal so both emit valid JSON for
+// arbitrary names.
+void append_json_escaped(std::string& out, std::string_view text);
+
+// Returns the JSON-escaped form of `text` (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
 }  // namespace tn::util

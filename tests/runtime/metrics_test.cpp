@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,53 @@ TEST(Metrics, HistogramZeroBucket) {
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 0u);
   EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Empty histogram: every quantile is 0, whatever q is.
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+  EXPECT_EQ(empty.quantile(nan), 0u);
+
+  // Single sample 5 lives in bucket [4,8) with upper bound 7; every q —
+  // including out-of-range and NaN — lands on that one bucket.
+  Histogram one;
+  one.record(5);
+  EXPECT_EQ(one.quantile(0.0), 7u);
+  EXPECT_EQ(one.quantile(0.5), 7u);
+  EXPECT_EQ(one.quantile(1.0), 7u);
+  EXPECT_EQ(one.quantile(-0.5), 7u);
+  EXPECT_EQ(one.quantile(2.0), 7u);
+  EXPECT_EQ(one.quantile(nan), 7u);
+
+  // All-zero samples sit in the zero bucket.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.record(0);
+  EXPECT_EQ(zeros.quantile(0.0), 0u);
+  EXPECT_EQ(zeros.quantile(1.0), 0u);
+
+  // Uniform 1..100: q=0 must resolve to the minimum's bucket (upper bound
+  // 1), q=1 to the maximum's bucket (upper bound 127), and NaN must behave
+  // exactly like q=0 instead of producing an undefined rank cast.
+  Histogram uniform;
+  for (std::uint64_t v = 1; v <= 100; ++v) uniform.record(v);
+  EXPECT_EQ(uniform.quantile(0.0), 1u);
+  EXPECT_EQ(uniform.quantile(1.0), 127u);
+  EXPECT_EQ(uniform.quantile(nan), uniform.quantile(0.0));
+}
+
+TEST(Metrics, JsonDumpEscapesInstrumentNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name").add(1);
+  registry.histogram("path\\with\\slashes").record(2);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"path\\\\with\\\\slashes\":{"), std::string::npos);
+  // The raw quote must never appear unescaped inside the name.
+  EXPECT_EQ(json.find("\"weird\"name\""), std::string::npos);
 }
 
 TEST(Metrics, ConcurrentRecordingIsLossless) {

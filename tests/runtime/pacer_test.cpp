@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "probe/sim_engine.h"
 #include "testutil.h"
@@ -34,6 +36,50 @@ TEST(Pacer, ThrottlesPastTheBurst) {
   const auto start = Clock::now();
   for (int i = 0; i < 3; ++i) pacer.acquire();
   EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(5));
+  EXPECT_GE(pacer.throttle_waits(), 1u);
+}
+
+TEST(Pacer, OverBurstWaveAdmitsImmediatelyAndLeavesDebt) {
+  // A wave larger than the burst capacity must go out as soon as the bucket
+  // is full — waiting for 100 tokens that can never accumulate would
+  // deadlock — and drive the token count negative.
+  ProbePacer pacer(1000.0, /*burst=*/4.0);
+  const auto start = Clock::now();
+  pacer.acquire(100);
+  EXPECT_LT(Clock::now() - start, std::chrono::milliseconds(50));
+  EXPECT_EQ(pacer.throttle_waits(), 0u);
+
+  // The debt (~96 tokens at 1000/s) throttles the next probe for ~96 ms.
+  const auto debt_start = Clock::now();
+  pacer.acquire(1);
+  EXPECT_GE(Clock::now() - debt_start, std::chrono::milliseconds(50));
+  EXPECT_EQ(pacer.throttle_waits(), 1u);
+}
+
+TEST(Pacer, ThrottledWaveCountsOneWaitHoweverLongItSpins) {
+  // A single throttled acquire may lap its wait loop several times before
+  // the refill covers the shortfall; it is still one throttled wave. With
+  // per-lap counting this reported 2-3 "waits" for one 31-token debt.
+  ProbePacer pacer(1000.0, 1.0);
+  pacer.acquire(32);  // immediate, tokens now -31
+  pacer.acquire(1);   // one throttled wave, ~32 ms of wait-loop laps
+  EXPECT_EQ(pacer.throttle_waits(), 1u);
+}
+
+TEST(Pacer, ConcurrentWaitsNeverExceedAcquires) {
+  // Contending workers can steal each other's refill and re-lap the wait
+  // loop; the throttle counter must still be bounded by one per acquire.
+  ProbePacer pacer(400.0, 1.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) pacer.acquire();
+    });
+  for (auto& thread : pool) thread.join();
+  EXPECT_LE(pacer.throttle_waits(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_GE(pacer.throttle_waits(), 1u);
 }
 

@@ -1,0 +1,103 @@
+// RetryingProbeEngine under concurrency: the per-target retry budget and the
+// total retry counter must stay exact when several campaign workers hammer
+// one shared engine. This is the regression suite for the unguarded
+// per_target_retries_ map (a data race and potential rehash-under-reader
+// crash before the engine grew its budget mutex); the CI TSan job runs it
+// with -fsanitize=thread.
+#include "probe/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "probe/engine.h"
+#include "testutil.h"
+
+namespace tn::probe {
+namespace {
+
+// Never answers: every probe wants the full retry schedule, so the budget
+// accounting is exercised on every call.
+class SilentEngine final : public ProbeEngine {
+ private:
+  net::ProbeReply do_probe(const net::Probe&) override { return {}; }
+};
+
+net::Probe probe_to(net::Ipv4Addr target, int ttl) {
+  net::Probe probe;
+  probe.target = target;
+  probe.ttl = static_cast<std::uint8_t>(ttl);
+  return probe;
+}
+
+TEST(RetryEngine, BudgetExactUnderConcurrentHammering) {
+  SilentEngine wire;
+  RetryConfig config;
+  config.attempts = 4;  // wants 3 retries per probe
+  config.per_target_budget = 6;
+  RetryingProbeEngine retry(wire, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kTargets = 16;
+  constexpr int kProbesPerTargetPerThread = 8;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (int round = 0; round < kProbesPerTargetPerThread; ++round)
+        for (int i = 0; i < kTargets; ++i)
+          retry.probe(probe_to(test::ip("10.0.0." + std::to_string(1 + i)),
+                               1 + round % 4));
+    });
+  for (auto& thread : pool) thread.join();
+
+  // Demand far exceeds the budget (8*16*8 probes x 3 wanted retries), so
+  // every target must land exactly on its cap — not one retry more or lost.
+  EXPECT_EQ(retry.retries_used(),
+            static_cast<std::uint64_t>(kTargets) * config.per_target_budget);
+}
+
+TEST(RetryEngine, UnlimitedBudgetCountsEveryRetryLosslessly) {
+  SilentEngine wire;
+  RetryConfig config;
+  config.attempts = 3;  // 2 retries per silent probe
+  RetryingProbeEngine retry(wire, config);
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        retry.probe(probe_to(test::ip("10.0." + std::to_string(t) + ".1"), 1));
+    });
+  for (auto& thread : pool) thread.join();
+
+  EXPECT_EQ(retry.retries_used(), kThreads * kPerThread * 2);
+  EXPECT_EQ(wire.probes_issued(), kThreads * kPerThread * 3);
+}
+
+TEST(RetryEngine, BatchPathSharesTheSameBudget) {
+  SilentEngine wire;
+  RetryConfig config;
+  config.attempts = 4;
+  config.per_target_budget = 5;
+  RetryingProbeEngine retry(wire, config);
+
+  constexpr int kThreads = 6;
+  const net::Ipv4Addr target = test::ip("10.1.0.1");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      std::vector<net::Probe> wave;
+      for (int ttl = 1; ttl <= 8; ++ttl) wave.push_back(probe_to(target, ttl));
+      for (int round = 0; round < 4; ++round) retry.probe_batch(wave);
+    });
+  for (auto& thread : pool) thread.join();
+
+  EXPECT_EQ(retry.retries_used(), config.per_target_budget);
+}
+
+}  // namespace
+}  // namespace tn::probe

@@ -9,6 +9,7 @@
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "testutil.h"
+#include "util/strings.h"
 
 namespace tn::sim {
 namespace {
@@ -83,6 +84,69 @@ TEST(FaultSpecParse, RejectsMalformedInput) {
     std::istringstream in(text);
     EXPECT_THROW(parse_fault_spec(in, f.topo), std::invalid_argument)
         << "accepted: " << text;
+  }
+}
+
+TEST(FaultSpecParse, ErrorsNameSourceAndLine) {
+  test::Fig3Topology f;
+  // The bad line is line 4: comments and blanks still advance the counter,
+  // so the reported location matches what an editor shows.
+  std::istringstream in(
+      "# lossy scenario\n"
+      "seed 7\n"
+      "\n"
+      "default loss=1.5\n");
+  try {
+    parse_fault_spec(in, f.topo, "faults.txt");
+    FAIL() << "accepted an out-of-range probability";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_TRUE(util::starts_with(error.what(), "faults.txt:4: "))
+        << error.what();
+  }
+}
+
+TEST(FaultSpecParse, DefaultSourceLabelWhenNoneGiven) {
+  test::Fig3Topology f;
+  std::istringstream in("seed x\n");
+  try {
+    parse_fault_spec(in, f.topo);
+    FAIL() << "accepted a non-numeric seed";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_TRUE(util::starts_with(error.what(), "fault spec:1: "))
+        << error.what();
+  }
+}
+
+TEST(FaultSpecParse, UnknownKeyNamesTheAlternatives) {
+  test::Fig3Topology f;
+  // `repy-loss` is the typo the unknown-key rejection exists for: it must
+  // fail loudly and list the knobs that do exist.
+  std::istringstream in("default repy-loss=0.1\n");
+  try {
+    parse_fault_spec(in, f.topo, "faults.txt");
+    FAIL() << "accepted a misspelled key";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_TRUE(util::starts_with(what, "faults.txt:1: ")) << what;
+    EXPECT_NE(what.find("unknown key 'repy-loss'"), std::string::npos) << what;
+    EXPECT_NE(what.find("reply-loss"), std::string::npos) << what;
+    EXPECT_NE(what.find("blackhole-ttl"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultSpecParse, UnknownDirectiveNamesTheAlternatives) {
+  test::Fig3Topology f;
+  std::istringstream in("seed 1\ngremlins everywhere\n");
+  try {
+    parse_fault_spec(in, f.topo, "faults.txt");
+    FAIL() << "accepted an unknown directive";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_TRUE(util::starts_with(what, "faults.txt:2: ")) << what;
+    EXPECT_NE(what.find("unknown directive 'gremlins'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("seed, reorder, default, node"), std::string::npos)
+        << what;
   }
 }
 

@@ -1,0 +1,193 @@
+// Flight-recorder journal plumbing (trace/journal.h, trace/reader.h): levels,
+// the recorder's line format, the sharded writer's deterministic merge, and
+// the reader's round-trip guarantees — including that escaped values cannot
+// forge keys.
+#include "trace/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/reader.h"
+
+namespace tn::trace {
+namespace {
+
+TEST(TraceLevel, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(parse_level("off"), Level::kOff);
+  EXPECT_EQ(parse_level("session"), Level::kSession);
+  EXPECT_EQ(parse_level("probe"), Level::kProbe);
+  EXPECT_EQ(parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_level(""), std::nullopt);
+  for (const Level level : {Level::kOff, Level::kSession, Level::kProbe})
+    EXPECT_EQ(parse_level(to_string(level)), level);
+}
+
+TEST(TraceRecorder, EmitsPrefixedSequencedLines) {
+  Recorder rec("10.0.0.1", Level::kSession, false);
+  std::string attrs;
+  attr_num(attrs, "ttl", 3);
+  attr_bool(attrs, "reached", true);
+  attr_str(attrs, "from", "10.0.0.2");
+  rec.emit("hop", attrs);
+  rec.emit("trace_done");
+  EXPECT_EQ(rec.bytes(),
+            "{\"target\":\"10.0.0.1\",\"seq\":0,\"ev\":\"hop\","
+            "\"ttl\":3,\"reached\":true,\"from\":\"10.0.0.2\"}\n"
+            "{\"target\":\"10.0.0.1\",\"seq\":1,\"ev\":\"trace_done\"}\n");
+  EXPECT_EQ(rec.events(), 2u);
+}
+
+TEST(TraceRecorder, WantsRespectsTheLevelLattice) {
+  Recorder session("t", Level::kSession, false);
+  EXPECT_TRUE(session.wants(Level::kSession));
+  EXPECT_FALSE(session.wants(Level::kProbe));
+  EXPECT_FALSE(session.wants(Level::kOff));
+
+  Recorder probe("t", Level::kProbe, false);
+  EXPECT_TRUE(probe.wants(Level::kSession));
+  EXPECT_TRUE(probe.wants(Level::kProbe));
+
+  // trace::on is the one branch disabled tracing costs.
+  EXPECT_FALSE(on(nullptr, Level::kSession));
+  EXPECT_TRUE(on(&probe, Level::kProbe));
+}
+
+TEST(TraceSink, NullSinkDisablesEverything) {
+  NullEventSink sink;
+  EXPECT_EQ(sink.level(), Level::kOff);
+  EXPECT_EQ(sink.open(0, "t"), nullptr);
+  sink.drop(0);  // harmless no-op
+}
+
+TEST(TraceWriter, OffLevelOpensNothing) {
+  JsonlTraceWriter writer(Level::kOff);
+  EXPECT_EQ(writer.open(0, "t"), nullptr);
+  EXPECT_EQ(writer.merged(), "");
+}
+
+TEST(TraceWriter, MergesByOrdinalNotOpenOrder) {
+  JsonlTraceWriter writer(Level::kSession);
+  writer.open(2, "late")->emit("session");
+  writer.open(0, "early")->emit("session");
+  Recorder* campaign = writer.open(kCampaignOrdinal, "campaign");
+  campaign->emit("campaign_done");
+  writer.open(1, "middle")->emit("session");
+
+  const std::string merged = writer.merged();
+  const auto early = merged.find("\"early\"");
+  const auto middle = merged.find("\"middle\"");
+  const auto late = merged.find("\"late\"");
+  const auto done = merged.find("\"campaign\"");
+  ASSERT_NE(early, std::string::npos);
+  EXPECT_LT(early, middle);
+  EXPECT_LT(middle, late);
+  // The campaign ordinal sorts after every target: the journal ends with it.
+  EXPECT_LT(late, done);
+
+  std::ostringstream out;
+  writer.write(out);
+  EXPECT_EQ(out.str(), merged);
+}
+
+TEST(TraceWriter, DropDiscardsABuffer) {
+  JsonlTraceWriter writer(Level::kSession);
+  writer.open(0, "keep")->emit("session");
+  writer.open(1, "reject")->emit("session");
+  writer.drop(1);
+  writer.drop(7);  // never opened: no-op
+  const std::string merged = writer.merged();
+  EXPECT_NE(merged.find("keep"), std::string::npos);
+  EXPECT_EQ(merged.find("reject"), std::string::npos);
+}
+
+TEST(TraceWriter, ReopenReplacesTheBuffer) {
+  // The runtime re-opens an ordinal when the canonical merge re-traces a
+  // target serially; the discarded worker buffer must vanish wholesale.
+  JsonlTraceWriter writer(Level::kSession);
+  writer.open(0, "worker")->emit("session");
+  Recorder* fresh = writer.open(0, "fallback");
+  fresh->emit("session");
+  const std::string merged = writer.merged();
+  EXPECT_EQ(merged.find("worker"), std::string::npos);
+  EXPECT_NE(merged.find("fallback"), std::string::npos);
+  // The replacement starts a fresh sequence.
+  EXPECT_NE(merged.find("\"seq\":0"), std::string::npos);
+}
+
+TEST(TraceReader, RoundTripsEscapedContent) {
+  JsonlTraceWriter writer(Level::kSession);
+  Recorder* rec = writer.open(0, "we\"ird\\tar\nget");
+  std::string attrs;
+  attr_str(attrs, "note", "line1\nline2\t\"quoted\" \\ \x01");
+  rec->emit("session", attrs);
+
+  std::istringstream in(writer.merged());
+  const auto events = read_journal(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].target, "we\"ird\\tar\nget");
+  EXPECT_EQ(events[0].type, "session");
+  EXPECT_EQ(events[0].str("note"),
+            std::string("line1\nline2\t\"quoted\" \\ \x01"));
+}
+
+TEST(TraceReader, EscapedValuesCannotForgeKeys) {
+  // A hostile value spelling out `","fake":1,"x":"` must stay a value: the
+  // writer escapes its quotes, so the reader's preceded-by-{-or-, rule never
+  // sees a key boundary inside it.
+  JsonlTraceWriter writer(Level::kSession);
+  std::string attrs;
+  attr_str(attrs, "note", "x\",\"fake\":1,\"y\":\"z");
+  writer.open(0, "t")->emit("session", attrs);
+
+  std::istringstream in(writer.merged());
+  const auto events = read_journal(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].num("fake"), std::nullopt);
+  EXPECT_EQ(events[0].str("y"), std::nullopt);
+  EXPECT_EQ(events[0].str("note"), std::string("x\",\"fake\":1,\"y\":\"z"));
+}
+
+TEST(TraceReader, TypedAccessorsRejectMistypedFields) {
+  const auto event = parse_line(
+      "{\"target\":\"t\",\"seq\":3,\"ev\":\"hop\",\"ttl\":4,"
+      "\"from\":\"10.0.0.1\",\"ok\":true,\"neg\":-2}");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->target, "t");
+  EXPECT_EQ(event->seq, 3u);
+  EXPECT_EQ(event->num("ttl"), 4);
+  EXPECT_EQ(event->num("neg"), -2);
+  EXPECT_EQ(event->str("from"), std::string("10.0.0.1"));
+  EXPECT_EQ(event->boolean("ok"), true);
+  // Wrong type / absent key -> nullopt, not garbage.
+  EXPECT_EQ(event->num("from"), std::nullopt);
+  EXPECT_EQ(event->str("ttl"), std::nullopt);
+  EXPECT_EQ(event->boolean("ttl"), std::nullopt);
+  EXPECT_EQ(event->num("missing"), std::nullopt);
+}
+
+TEST(TraceReader, RejectsMalformedLines) {
+  EXPECT_EQ(parse_line(""), std::nullopt);
+  EXPECT_EQ(parse_line("not json"), std::nullopt);
+  EXPECT_EQ(parse_line("{\"seq\":0,\"ev\":\"x\"}"), std::nullopt);  // no target
+  EXPECT_EQ(parse_line("{\"target\":\"t\",\"ev\":\"x\"}"), std::nullopt);
+  EXPECT_EQ(parse_line("{\"target\":\"t\",\"seq\":0}"), std::nullopt);
+
+  std::istringstream in(
+      "{\"target\":\"t\",\"seq\":0,\"ev\":\"session\"}\n"
+      "\n"
+      "garbage\n");
+  try {
+    read_journal(in);
+    FAIL() << "accepted a malformed journal";
+  } catch (const std::runtime_error& error) {
+    // Blank lines are skipped but still counted: garbage is line 3.
+    EXPECT_NE(std::string(error.what()).find("journal line 3"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace tn::trace

@@ -60,5 +60,43 @@ TEST(Histogram, EmptyInput) {
   EXPECT_EQ(render_grouped({}, {}, {}), "");
 }
 
+TEST(Histogram, AllZeroBarsRenderLabelsWithoutHashes) {
+  // max is zero: the scale divisor must not be used (no div-by-zero, no
+  // garbage-length bars), every row still renders.
+  const std::string out = render_bars({{"a", 0.0}, {"b", 0.0}}, 10);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AllZeroBarsRenderLabelsWithoutHashesLogScale) {
+  const std::string out = render_bars({{"a", 0.0}}, 10, /*log_scale=*/true);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, NegativeValuesClampToEmptyBars) {
+  // Negative "counts" never appear in the figures; if one slips through it
+  // must render as an empty bar, not wrap around to a huge string length.
+  const std::string out = render_bars({{"neg", -5.0}, {"pos", 10.0}}, 10);
+  const auto neg_line = out.find("neg");
+  ASSERT_NE(neg_line, std::string::npos);
+  const auto neg_end = out.find('\n', neg_line);
+  EXPECT_EQ(out.substr(neg_line, neg_end - neg_line).find('#'),
+            std::string::npos);
+  EXPECT_NE(out.find('#', neg_end), std::string::npos);  // pos still bars
+}
+
+TEST(Histogram, GroupedToleratesRaggedInput) {
+  // Fewer value rows than labels / fewer cells than series: render what
+  // exists, no out-of-bounds access. row3 has no values row, so it is
+  // clamped away; row1 renders only its single cell.
+  const std::string out =
+      render_grouped({"row1", "row2", "row3"}, {"s1", "s2"}, {{1.0}, {2.0, 3.0}});
+  EXPECT_NE(out.find("row1"), std::string::npos);
+  EXPECT_NE(out.find("row2"), std::string::npos);
+  EXPECT_EQ(out.find("row3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tn::util

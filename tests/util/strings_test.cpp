@@ -69,5 +69,44 @@ TEST(Percent, HandlesZeroDenominator) {
   EXPECT_EQ(percent(737, 1000, 1), "73.7%");
 }
 
+TEST(JsonEscape, PlainTextPassesThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("probe.wire"), "probe.wire");
+  EXPECT_EQ(json_escape("163.253.0.14/31"), "163.253.0.14/31");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\path\\to"), "C:\\\\path\\\\to");
+  // A value ending in a backslash must not escape the closing quote.
+  EXPECT_EQ(json_escape("trailing\\"), "trailing\\\\");
+}
+
+TEST(JsonEscape, NamedControlEscapes) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, BareControlBytesUseUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(json_escape(std::string_view("\x00", 1)), "\\u0000");
+}
+
+TEST(JsonEscape, Utf8PassesThroughUntouched) {
+  // High bytes are not control characters; multi-byte sequences stay intact.
+  EXPECT_EQ(json_escape("r\xC3\xA9seau"), "r\xC3\xA9seau");
+}
+
+TEST(JsonEscape, AppendVariantAppends) {
+  std::string out = "\"key\":\"";
+  append_json_escaped(out, "a\"b");
+  out += '"';
+  EXPECT_EQ(out, "\"key\":\"a\\\"b\"");
+}
+
 }  // namespace
 }  // namespace tn::util

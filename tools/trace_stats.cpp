@@ -1,0 +1,195 @@
+// trace_stats — flight-recorder journal reader.
+//
+// Reconstructs per-subnet growth timelines from a --trace-out journal
+// (docs/TRACING.md): for every traced target, the trace-collection outcome,
+// then each exploration as pivot -> growth levels -> heuristic verdicts ->
+// final subnet with its stop reason and the heuristic that fired. With a
+// probe-level journal it also accounts cache hits, waves and retries.
+//
+//   trace_stats JOURNAL            per-target timelines + aggregate summary
+//   trace_stats --summary JOURNAL  aggregate summary only
+//   trace_stats --target T JOURNAL limit timelines to target T
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/reader.h"
+#include "util/args.h"
+
+using namespace tn;
+
+namespace {
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: trace_stats [--summary] [--target T] JOURNAL\n"
+               "       (JOURNAL is a tracenet_cli --trace-out file; - reads "
+               "stdin)\n");
+  return 2;
+}
+
+struct Aggregates {
+  std::size_t targets = 0;
+  std::size_t sessions = 0;
+  std::size_t subnets = 0;
+  std::size_t hops = 0;
+  std::size_t heur_evals = 0;
+  std::size_t shrinks = 0;
+  std::size_t h9_splits = 0;
+  std::size_t probes = 0;
+  std::size_t cache_hits = 0;
+  std::size_t waves = 0;
+  std::size_t retries = 0;
+  std::size_t retry_stops = 0;
+  std::map<std::string, std::size_t> stop_reasons;
+  std::map<std::string, std::size_t> fired;
+};
+
+std::string field(const trace::JournalEvent& event, const char* key) {
+  return event.str(key).value_or("?");
+}
+
+std::int64_t number(const trace::JournalEvent& event, const char* key) {
+  return event.num(key).value_or(0);
+}
+
+void print_event(const trace::JournalEvent& e) {
+  if (e.type == "session") {
+    std::printf("%s (proto %s)\n", e.target.c_str(),
+                field(e, "proto").c_str());
+  } else if (e.type == "hop") {
+    const auto from = e.str("from");
+    std::printf("  ttl %2lld  %s\n", static_cast<long long>(number(e, "ttl")),
+                from ? from->c_str() : "*");
+  } else if (e.type == "trace_done") {
+    std::printf("  trace: %lld hops, %s (%s)\n",
+                static_cast<long long>(number(e, "hops")),
+                e.boolean("reached").value_or(false) ? "reached"
+                                                     : "not reached",
+                field(e, "reason").c_str());
+  } else if (e.type == "hop_skip") {
+    std::printf("  hop %s: covered, skipped\n", field(e, "addr").c_str());
+  } else if (e.type == "position") {
+    std::printf("  position hop %s (d=%lld): pivot %s at jh=%lld%s\n",
+                field(e, "v").c_str(), static_cast<long long>(number(e, "d")),
+                field(e, "pivot").c_str(),
+                static_cast<long long>(number(e, "jh")),
+                e.boolean("on_path").value_or(true) ? "" : " [off-path]");
+  } else if (e.type == "explore") {
+    std::printf("  explore pivot %s (jh=%lld):\n", field(e, "pivot").c_str(),
+                static_cast<long long>(number(e, "jh")));
+  } else if (e.type == "heur") {
+    const auto fired = e.str("fired");
+    std::printf("    /%lld %s -> %s%s%s\n",
+                static_cast<long long>(number(e, "m")),
+                field(e, "l").c_str(), field(e, "verdict").c_str(),
+                fired ? " by " : "", fired ? fired->c_str() : "");
+  } else if (e.type == "level") {
+    std::printf("    /%lld complete: %lld members\n",
+                static_cast<long long>(number(e, "m")),
+                static_cast<long long>(number(e, "members")));
+  } else if (e.type == "h9") {
+    std::printf("    h9 boundary split -> %s\n", field(e, "prefix").c_str());
+  } else if (e.type == "subnet") {
+    const auto contra = e.str("contra");
+    std::printf("    => %s, %lld members, stop=%s fired=%s%s%s\n",
+                field(e, "prefix").c_str(),
+                static_cast<long long>(number(e, "members")),
+                field(e, "stop").c_str(), field(e, "fired").c_str(),
+                contra ? ", contra " : "", contra ? contra->c_str() : "");
+  } else if (e.type == "session_done") {
+    std::printf("  session: %lld subnets over %lld hops\n",
+                static_cast<long long>(number(e, "subnets")),
+                static_cast<long long>(number(e, "hops")));
+  } else if (e.type == "retry_stop") {
+    std::printf("    retry budget exhausted for %s\n",
+                field(e, "dst").c_str());
+  } else if (e.type == "span") {
+    const auto us = e.num("us");
+    if (us)
+      std::printf("  span %s: %lld us\n", field(e, "phase").c_str(),
+                  static_cast<long long>(*us));
+  } else if (e.type == "campaign_done") {
+    std::printf("campaign: %lld sessions, %lld subnets\n",
+                static_cast<long long>(number(e, "sessions")),
+                static_cast<long long>(number(e, "subnets")));
+  }
+  // probe / wave / retry / campaign events are aggregate-only.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args({"summary"}, {"target"});
+  if (!args.parse(argc, argv)) return usage(args.error().c_str());
+  if (args.positional().size() != 1) return usage("want exactly one JOURNAL");
+  const std::string path = args.positional().front();
+
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file.good()) return usage(("cannot open " + path).c_str());
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+
+  std::vector<trace::JournalEvent> events;
+  try {
+    events = trace::read_journal(in);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+    return 1;
+  }
+
+  const bool summary_only = args.flag("summary");
+  const auto only_target = args.option("target");
+
+  Aggregates agg;
+  std::string current_target;
+  for (const trace::JournalEvent& e : events) {
+    if (e.target != current_target && e.target != "campaign") {
+      current_target = e.target;
+      ++agg.targets;
+    }
+    if (e.type == "session") ++agg.sessions;
+    else if (e.type == "hop") ++agg.hops;
+    else if (e.type == "heur") {
+      ++agg.heur_evals;
+      if (field(e, "verdict") == "shrink") ++agg.shrinks;
+    } else if (e.type == "h9") ++agg.h9_splits;
+    else if (e.type == "subnet") {
+      ++agg.subnets;
+      ++agg.stop_reasons[field(e, "stop")];
+      ++agg.fired[field(e, "fired")];
+    } else if (e.type == "probe") {
+      ++agg.probes;
+      if (e.boolean("cached").value_or(false)) ++agg.cache_hits;
+    } else if (e.type == "wave") ++agg.waves;
+    else if (e.type == "retry") ++agg.retries;
+    else if (e.type == "retry_stop") ++agg.retry_stops;
+
+    if (summary_only) continue;
+    if (only_target && e.target != *only_target && e.target != "campaign")
+      continue;
+    print_event(e);
+  }
+
+  std::printf("---\n");
+  std::printf("targets %zu, sessions %zu, hops %zu, subnets %zu\n",
+              agg.targets, agg.sessions, agg.hops, agg.subnets);
+  std::printf("heuristic evaluations %zu (%zu shrinks), h9 splits %zu\n",
+              agg.heur_evals, agg.shrinks, agg.h9_splits);
+  for (const auto& [reason, count] : agg.stop_reasons)
+    std::printf("  stop %-15s %zu\n", reason.c_str(), count);
+  for (const auto& [code, count] : agg.fired)
+    if (code != "none") std::printf("  fired %-14s %zu\n", code.c_str(), count);
+  if (agg.probes > 0)
+    std::printf("probe level: %zu probes (%zu cached), %zu waves, %zu "
+                "retries, %zu budget stops\n",
+                agg.probes, agg.cache_hits, agg.waves, agg.retries,
+                agg.retry_stops);
+  return 0;
+}

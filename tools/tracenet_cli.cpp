@@ -31,6 +31,11 @@
 //                       black-holed TTL ranges, ICMP rate limits, reply
 //                       reordering (see docs/FAULTS.md); simulator only
 //   --metrics text|json dump the runtime metrics registry after the run
+//   --trace-out FILE    write the flight-recorder journal (JSONL, one event
+//                       per probe/decision; see docs/TRACING.md)
+//   --trace-level L     off | session (default with --trace-out) | probe
+//   --trace-times       include wall-clock span timings in the journal
+//                       (breaks byte-determinism across runs; off by default)
 //   --csv FILE          write collected subnets as CSV
 //   --dot FILE          write the inferred router-level map as Graphviz DOT
 //   --verbose           per-hop / per-subnet diagnostics on stderr
@@ -53,6 +58,7 @@
 #include "topo/isp.h"
 #include "topo/reference.h"
 #include "topo/serialize.h"
+#include "trace/journal.h"
 #include "util/args.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -74,6 +80,8 @@ int usage(const char* error) {
                "                    [--loss P] [--fault-seed N] "
                "[--fault-spec FILE]\n"
                "                    [--metrics text|json]\n"
+               "                    [--trace-out FILE] "
+               "[--trace-level off|session|probe] [--trace-times]\n"
                "                    [--csv FILE] [--dot FILE] [--verbose] "
                "[targets...]\n");
   return 2;
@@ -164,11 +172,11 @@ std::optional<SimWorld> make_world(const util::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Args args({"live", "multipath", "verbose", "fast"},
+  util::Args args({"live", "multipath", "verbose", "fast", "trace-times"},
                   {"demo", "topology", "targets", "vantage", "protocol",
                    "max-ttl", "retries", "csv", "dot", "jobs", "pps",
                    "metrics", "window", "rtt-us", "loss", "fault-seed",
-                   "fault-spec"});
+                   "fault-spec", "trace-out", "trace-level"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
 
@@ -209,6 +217,22 @@ int main(int argc, char** argv) {
   if (wants_faults && args.flag("live"))
     return usage("--loss/--fault-seed/--fault-spec inject faults into the "
                  "simulator; drop them for --live");
+  // Flight-recorder tracing (docs/TRACING.md): --trace-out selects the file,
+  // --trace-level how much to record. The default level with a file is
+  // "session"; without --trace-out tracing stays entirely off.
+  const auto trace_out = args.option("trace-out");
+  trace::Level trace_level = trace_out ? trace::Level::kSession
+                                       : trace::Level::kOff;
+  if (const auto text = args.option("trace-level")) {
+    if (!trace_out) return usage("--trace-level needs --trace-out");
+    const auto parsed = trace::parse_level(*text);
+    if (!parsed) return usage("bad --trace-level (want off, session or probe)");
+    trace_level = *parsed;
+  }
+  if (args.flag("trace-times") && !trace_out)
+    return usage("--trace-times needs --trace-out");
+  if (trace_out && args.flag("multipath"))
+    return usage("--trace-out is not supported with --multipath");
   const std::string metrics_format = args.option_or("metrics", "");
   if (!metrics_format.empty() && metrics_format != "text" &&
       metrics_format != "json")
@@ -261,7 +285,7 @@ int main(int argc, char** argv) {
           return 1;
         }
         try {
-          spec = sim::parse_fault_spec(file, world->topo);
+          spec = sim::parse_fault_spec(file, world->topo, *path);
         } catch (const std::exception& error) {
           std::fprintf(stderr, "%s\n", error.what());
           return 1;
@@ -289,6 +313,11 @@ int main(int argc, char** argv) {
     active = paced.get();
   }
 
+  // Flight recorder: one writer shared by whichever pipeline runs below.
+  std::optional<trace::JsonlTraceWriter> tracer;
+  if (trace_out && trace_level != trace::Level::kOff)
+    tracer.emplace(trace_level, args.flag("trace-times"));
+
   // Run.
   std::vector<core::SessionResult> sessions;
   eval::VantageObservations observations;
@@ -304,6 +333,7 @@ int main(int argc, char** argv) {
     config.jobs = static_cast<int>(jobs == 0 ? 1 : jobs);
     config.pps = static_cast<double>(pps);
     config.deterministic = !args.flag("fast");
+    if (tracer) config.trace_sink = &*tracer;
     runtime::MetricsRegistry registry;
     runtime::CampaignRuntime rt(*network, world->vantage, config, &registry);
     runtime::CampaignReport report = rt.run("cli", targets);
@@ -348,7 +378,10 @@ int main(int argc, char** argv) {
     config.retry_attempts = static_cast<int>(retries) + 1;
     config.probe_window = static_cast<int>(window);
     core::TracenetSession session(*active, config);
+    std::uint64_t ordinal = 0;
     for (const net::Ipv4Addr target : targets) {
+      if (tracer)
+        session.set_recorder(tracer->open(ordinal++, target.to_string()));
       sessions.push_back(session.run(target));
       std::printf("%s\n", sessions.back().to_string().c_str());
       for (const auto& subnet : sessions.back().subnets)
@@ -356,6 +389,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (trace_out) {
+    std::ofstream out(*trace_out, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", trace_out->c_str());
+      return 1;
+    }
+    if (tracer) tracer->write(out);  // --trace-level off writes an empty journal
+    std::fprintf(stderr, "wrote %s\n", trace_out->c_str());
+  }
   if (const auto path = args.option("csv")) {
     std::ofstream out(*path);
     out << eval::subnets_csv(observations);
