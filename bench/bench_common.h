@@ -25,6 +25,21 @@ inline constexpr std::uint64_t kInternet2Seed = 42;
 inline constexpr std::uint64_t kGeantSeed = 43;
 inline constexpr std::uint64_t kInternetSeed = 7;
 
+// Wall vs simulated wire-time split (docs/SIMULATION.md). Under the
+// virtual-time scheduler a campaign's RTT waits elapse on the simulated
+// clock, so a bench reports two durations: what the process actually spent
+// (wall) and how much wire time the run covered (sim wire). In wall-sleep
+// mode the two coincide — every emulated microsecond burns a real one —
+// which is exactly what speedup_vs_wire() measures the escape from.
+struct WireTiming {
+  double wall_ms = 0.0;      // process wall-clock spent on the run
+  double sim_wire_ms = 0.0;  // simulated (or slept) wire time covered
+
+  double speedup_vs_wire() const {
+    return wall_ms > 0.0 ? sim_wire_ms / wall_ms : 0.0;
+  }
+};
+
 struct ReferenceRun {
   topo::ReferenceTopology ref;
   eval::VantageObservations observations;

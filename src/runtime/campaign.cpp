@@ -11,6 +11,7 @@
 #include "runtime/pacer.h"
 #include "runtime/queue.h"
 #include "runtime/stopset.h"
+#include "sim/vtime/scheduler.h"
 #include "util/log.h"
 
 namespace tn::runtime {
@@ -28,6 +29,7 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
 
 CampaignReport CampaignRuntime::run(const std::string& vantage_name,
                                     const std::vector<net::Ipv4Addr>& targets) {
+  const auto run_started = std::chrono::steady_clock::now();
   MetricsRegistry& m = *metrics_;
   Counter& wire_counter = m.counter("probe.wire");
   Counter& sessions_counter = m.counter("runtime.sessions");
@@ -45,10 +47,19 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   // where this campaign started.
   const sim::NetworkStats stats_before = network_.stats();
 
+  // Virtual time (docs/SIMULATION.md): when the network carries a scheduler,
+  // every blocking wait in this runtime — pacer throttles and the network's
+  // emulated RTTs — must elapse on the simulated clock, or real sleeps would
+  // stall the simulation (and deadlock it: the scheduler only advances when
+  // every registered worker is blocked on it).
+  sim::vtime::Scheduler* sched = network_.scheduler();
+  const std::uint64_t vtime_before = sched != nullptr ? sched->now_us() : 0;
+
   // The shared probe stack (see the header diagram).
   probe::SimProbeEngine wire(network_, vantage_);
-  ProbePacer pacer =
-      config_.pps > 0.0 ? ProbePacer(config_.pps, config_.burst) : ProbePacer();
+  ProbePacer pacer = config_.pps > 0.0
+                         ? ProbePacer(config_.pps, config_.burst, sched)
+                         : ProbePacer();
   PacedProbeEngine paced(wire, pacer, &wire_counter, waves);
   std::optional<probe::SharedCachingProbeEngine> shared_cache;
   probe::ProbeEngine* base = &paced;
@@ -96,6 +107,10 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       config_.share_stop_set && config_.campaign.skip_covered_targets;
 
   auto worker = [&]() {
+    // Register with the virtual-time scheduler (if any) for the lifetime of
+    // this worker: the clock may only advance while every worker is blocked.
+    std::optional<sim::vtime::Scheduler::WorkerGuard> vtime_guard;
+    if (sched != nullptr) vtime_guard.emplace(*sched);
     probe::ForwardingProbeEngine local(*base);
     core::SessionConfig session_config = config_.campaign.session;
     if (!config_.deterministic && config_.share_stop_set) {
@@ -110,6 +125,12 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
     while (const auto claimed = queue.pop()) {
       const std::size_t index = *claimed;
       const net::Ipv4Addr target = queue.targets()[index];
+      // Tag this thread's pending events with the target ordinal so the
+      // event queue's (deliver_at, ordinal, seq) order matches the journal
+      // merge key — simultaneous deliveries resolve in target order, not
+      // thread-creation order.
+      if (sched != nullptr)
+        sim::vtime::Scheduler::set_current_ordinal(index);
       if (skip_targets) {
         // Deterministic mode may only take skips that hold under any worker
         // schedule: coverage from an already-completed lower-index target
@@ -239,6 +260,14 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
     m.counter("probe.shared_cache.misses").add(shared_cache->misses());
   }
   m.counter("pacer.throttle_waits").add(pacer.throttle_waits());
+
+  // Wall/virtual time split: wall is what the process spent, virtual is the
+  // simulated wire time that elapsed on the scheduler's clock. Without a
+  // scheduler the two coincide (sleeps burn real time), so only wall is
+  // recorded.
+  m.counter("time.wall_us").add(elapsed_us(run_started));
+  if (sched != nullptr)
+    m.counter("time.virtual_us").add(sched->now_us() - vtime_before);
 
   util::log(util::LogLevel::kInfo, "runtime", vantage_name, ": ",
             report.observations.subnets.size(), " subnets over ",

@@ -11,15 +11,23 @@
 // acquire() blocks the calling worker until a token is available; refills
 // accrue continuously so the long-run rate converges to `pps` with bursts of
 // up to `burst` back-to-back probes after idle periods.
+//
+// Time comes from a util::Clock (util/clock.h): wall by default, so the
+// RawSocketProbeEngine path is untouched, or the virtual-time scheduler
+// under --virtual-time so pacing elapses in simulated microseconds instead
+// of stalling the simulation with real sleeps. The throttle decisions are a
+// pure function of the timestamp sequence the clock serves, so wall and
+// virtual pacing behave identically at the same simulated instants (the
+// Pacer.WallAndVirtualClocksDecideIdentically test pins this).
 #pragma once
 
-#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
-#include <thread>
 
 #include "probe/engine.h"
 #include "runtime/metrics.h"
+#include "util/clock.h"
 
 namespace tn::runtime {
 
@@ -28,9 +36,12 @@ class ProbePacer {
   // A default-constructed pacer admits everything immediately.
   ProbePacer() = default;
 
-  // Sustained `pps` probes per second, bursts up to `burst`.
-  explicit ProbePacer(double pps, double burst = 8.0) noexcept
-      : rate_(pps > 0.0 ? pps : 0.0),
+  // Sustained `pps` probes per second, bursts up to `burst`, timed by
+  // `clock` (nullptr = the shared wall clock).
+  explicit ProbePacer(double pps, double burst = 8.0,
+                      util::Clock* clock = nullptr) noexcept
+      : clock_(clock != nullptr ? clock : &util::WallClock::instance()),
+        rate_(pps > 0.0 ? pps : 0.0),
         burst_(burst < 1.0 ? 1.0 : burst),
         tokens_(burst < 1.0 ? 1.0 : burst),
         enabled_(pps > 0.0) {}
@@ -48,21 +59,22 @@ class ProbePacer {
     const double want = static_cast<double>(n);
     bool counted_wait = false;
     for (;;) {
-      std::chrono::duration<double> shortfall{};
+      double shortfall_s = 0.0;
       {
         const std::lock_guard<std::mutex> lock(mutex_);
-        const auto now = Clock::now();
-        if (last_.time_since_epoch().count() != 0) {
-          tokens_ += std::chrono::duration<double>(now - last_).count() * rate_;
+        const std::uint64_t now_us = clock_->now_us();
+        if (primed_ && now_us > last_us_) {
+          tokens_ += static_cast<double>(now_us - last_us_) * 1e-6 * rate_;
           if (tokens_ > burst_) tokens_ = burst_;
         }
-        last_ = now;
+        last_us_ = now_us;
+        primed_ = true;
         const double need = want < burst_ ? want : burst_;
         if (tokens_ >= need) {
           tokens_ -= want;
           return;
         }
-        shortfall = std::chrono::duration<double>((need - tokens_) / rate_);
+        shortfall_s = (need - tokens_) / rate_;
       }
       // One throttled *wave*, however many times the wait loop spins before
       // the wave is admitted (contending workers can steal the refill and
@@ -71,7 +83,11 @@ class ProbePacer {
         throttle_waits_.fetch_add(1, std::memory_order_relaxed);
         counted_wait = true;
       }
-      std::this_thread::sleep_for(shortfall);
+      // Round the wait up so a sub-microsecond shortfall still sleeps (a
+      // zero-length lap would busy-spin on a manual or virtual clock).
+      const auto wait_us =
+          static_cast<std::uint64_t>(std::ceil(shortfall_s * 1e6));
+      clock_->sleep_us(wait_us > 0 ? wait_us : 1);
     }
   }
 
@@ -80,13 +96,13 @@ class ProbePacer {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   std::mutex mutex_;
+  util::Clock* clock_ = &util::WallClock::instance();
   double rate_ = 0.0;
   double burst_ = 0.0;
   double tokens_ = 0.0;
-  Clock::time_point last_{};
+  std::uint64_t last_us_ = 0;
+  bool primed_ = false;
   bool enabled_ = false;
   std::atomic<std::uint64_t> throttle_waits_{0};
 };

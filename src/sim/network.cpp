@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include "sim/vtime/scheduler.h"
+
 namespace tn::sim {
 
 namespace {
@@ -229,10 +231,38 @@ std::optional<RoutingTable::NextHop> Network::pick_next_hop(
   return hops[h % hops.size()];
 }
 
+std::uint64_t Network::probe_delay_us(const net::Probe& probe,
+                                      int hops) const {
+  std::uint64_t delay = config_.wall_rtt_us;
+  if (config_.link_delay_us > 0)
+    delay += 2 * config_.link_delay_us *
+             static_cast<std::uint64_t>(hops < 1 ? 1 : hops);
+  if (config_.jitter_us > 0) {
+    // Content-keyed, like the fault draws: the same probe always jitters by
+    // the same amount, whatever else is in flight, so delays replay
+    // identically across schedules and across wall vs virtual modes.
+    const std::uint64_t roll =
+        mix((static_cast<std::uint64_t>(probe.target.value()) << 20) ^
+            (static_cast<std::uint64_t>(probe.flow_id) << 12) ^
+            (static_cast<std::uint64_t>(probe.attempt) << 8) ^
+            static_cast<std::uint64_t>(probe.ttl) ^ 0x9E3779B97F4A7C15ULL);
+    delay += roll % (config_.jitter_us + 1);
+  }
+  return delay;
+}
+
+void Network::emulate_rtt(std::uint64_t delay_us) {
+  if (delay_us == 0) return;
+  if (config_.scheduler != nullptr)
+    config_.scheduler->sleep_us(delay_us);
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
 net::ProbeReply Network::send_probe(NodeId origin, const net::Probe& probe) {
-  const net::ProbeReply reply = walk_probe(origin, probe);
-  if (config_.wall_rtt_us > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(config_.wall_rtt_us));
+  int hops = 0;
+  const net::ProbeReply reply = walk_probe(origin, probe, &hops);
+  emulate_rtt(probe_delay_us(probe, hops));
   return reply;
 }
 
@@ -266,24 +296,35 @@ std::vector<net::ProbeReply> Network::send_probe_batch(
                      [&keys](std::size_t a, std::size_t b) {
                        return keys[a] < keys[b];
                      });
+    // The wave completes when its slowest reply lands: overlapped in-flight
+    // probes pay the *maximum* of their round trips, not the sum.
+    std::uint64_t wave_delay = 0;
     std::vector<net::ProbeReply> replies(probes.size());
-    for (const std::size_t i : order) replies[i] = walk_probe(origin, probes[i]);
-    if (config_.wall_rtt_us > 0)
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(config_.wall_rtt_us));
+    for (const std::size_t i : order) {
+      int hops = 0;
+      replies[i] = walk_probe(origin, probes[i], &hops);
+      wave_delay = std::max(wave_delay, probe_delay_us(probes[i], hops));
+    }
+    emulate_rtt(wave_delay);
     return replies;
   }
 
+  std::uint64_t wave_delay = 0;
   std::vector<net::ProbeReply> replies;
   replies.reserve(probes.size());
-  for (const net::Probe& probe : probes)
-    replies.push_back(walk_probe(origin, probe));
-  if (config_.wall_rtt_us > 0 && !probes.empty())
-    std::this_thread::sleep_for(std::chrono::microseconds(config_.wall_rtt_us));
+  for (const net::Probe& probe : probes) {
+    int hops = 0;
+    replies.push_back(walk_probe(origin, probe, &hops));
+    wave_delay = std::max(wave_delay, probe_delay_us(probe, hops));
+  }
+  emulate_rtt(wave_delay);
   return replies;
 }
 
-net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
+net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe,
+                                    int* hops_walked) {
+  int links_crossed = 0;
+  if (hops_walked != nullptr) *hops_walked = 0;
   // Claim this probe's virtual-clock slot and sequence number up front; the
   // walk itself runs lock-free against the immutable topology (concurrent
   // send_probe contract in the header).
@@ -375,6 +416,7 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
         return arp_fail(current, probe, incoming, origin_subnet, lan, slot);
       current = topology_.interface(*target_iface).node;
       incoming = *target_iface;
+      if (hops_walked != nullptr) *hops_walked = ++links_crossed;
       continue;
     }
 
@@ -382,6 +424,7 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe) {
     if (!hop) return count(net::ProbeReply::none());  // unreachable
     current = hop->node;
     incoming = hop->ingress;
+    if (hops_walked != nullptr) *hops_walked = ++links_crossed;
   }
   return count(net::ProbeReply::none());  // loop guard tripped
 }

@@ -33,6 +33,10 @@
 
 namespace tn::sim {
 
+namespace vtime {
+class Scheduler;
+}  // namespace vtime
+
 // What equal-cost hashing keys on. Destination-prefix hashing keeps the
 // ingress router of a subnet fixed across its addresses (the paper's Fixed
 // Ingress Router observation, §3.2(ii)); per-address hashing is the
@@ -49,13 +53,33 @@ struct NetworkConfig {
   std::uint64_t inter_probe_gap_us = 1000;
   int max_hops = 64;  // forwarding loop guard
   // Emulated round-trip time: every send_probe call blocks the caller for
-  // this long (wall clock) before returning its reply, exactly like a live
-  // blocking probe engine. 0 (the default) keeps the simulator instant.
-  // Replies are unaffected, so determinism is untouched; the sleep happens
-  // outside every lock, so concurrent workers overlap their waits — this is
-  // what makes the parallel runtime's wall-clock speedup measurable on the
-  // simulator (live probing is RTT-bound, not CPU-bound).
+  // this long before returning its reply, exactly like a live blocking
+  // probe engine. 0 (the default) keeps the simulator instant. Replies are
+  // unaffected, so determinism is untouched; the wait happens outside every
+  // lock, so concurrent workers overlap their waits — this is what makes
+  // the parallel runtime's wall-clock speedup measurable on the simulator
+  // (live probing is RTT-bound, not CPU-bound). Without a scheduler the
+  // wait is a wall-clock sleep; with one it elapses in simulated time.
   std::uint64_t wall_rtt_us = 0;
+
+  // Per-link delay model: each link the probe walks costs 2*link_delay_us
+  // of round trip (out and back), added on top of wall_rtt_us. Deeper hops
+  // therefore take proportionally longer, like a real traceroute.
+  std::uint64_t link_delay_us = 0;
+
+  // Deterministic delay jitter: adds a content-keyed draw in [0, jitter_us]
+  // to every probe's emulated RTT. Keyed off (target, flow, ttl, attempt)
+  // only — never off schedule — so the delays, and everything downstream of
+  // them, replay identically across --jobs / --window and across wall vs
+  // virtual modes.
+  std::uint64_t jitter_us = 0;
+
+  // Virtual-time mode (sim/vtime/, docs/SIMULATION.md): when set, emulated
+  // RTT waits block on this discrete-event scheduler's simulated clock
+  // instead of sleeping wall time. Reply content is computed before the
+  // wait either way, so outputs are byte-identical between modes; only the
+  // wall clock changes. Borrowed; must outlive the network.
+  vtime::Scheduler* scheduler = nullptr;
 };
 
 struct NetworkStats {
@@ -118,9 +142,25 @@ class Network {
 
  private:
   // The forwarding walk proper; send_probe adds the optional emulated RTT.
-  net::ProbeReply walk_probe(NodeId origin, const net::Probe& probe);
+  // `hops_walked`, when given, receives the number of forwarding steps the
+  // packet took before its fate was decided — a pure function of
+  // (topology, probe), which the per-link delay model feeds on.
+  net::ProbeReply walk_probe(NodeId origin, const net::Probe& probe,
+                             int* hops_walked = nullptr);
+
+  // The emulated round trip of one probe under the configured delay model
+  // (wall_rtt_us + 2*link_delay_us*hops + content-keyed jitter).
+  std::uint64_t probe_delay_us(const net::Probe& probe, int hops) const;
+
+  // Waits out `delay_us` of round trip: a wall sleep, or a virtual-time
+  // wait when a scheduler is configured. Never touches reply state.
+  void emulate_rtt(std::uint64_t delay_us);
 
  public:
+  // The configured virtual-time scheduler, nullptr in wall-sleep mode. The
+  // campaign runtime uses this to register its workers and to run the
+  // pacer on simulated time.
+  vtime::Scheduler* scheduler() const noexcept { return config_.scheduler; }
 
   // Installs a response rate limiter on one node.
   void set_rate_limiter(NodeId node, RateLimiter limiter);

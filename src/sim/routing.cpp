@@ -5,26 +5,55 @@
 namespace tn::sim {
 
 int RoutingTable::distance(NodeId from, SubnetId target) const {
-  return distances_for(target).at(from);
+  return resolved_distance(from, routes_for(target));
+}
+
+int RoutingTable::resolved_distance(NodeId from, const Routes& routes) const {
+  const int d = routes.dist.at(from);
+  if (d != kUnreachable || !topology_.node(from).is_host) return d;
+  // Off-target host: its distance is what the BFS would have assigned when
+  // one of its LANs was first relaxed. LAN relaxations happen in
+  // nondecreasing distance order, so the minimum over its LANs is exactly
+  // the first-touch value of the full-graph BFS.
+  int best = kUnreachable;
+  for (const InterfaceId iface : topology_.node(from).interfaces) {
+    const int via = routes.lan_dist[topology_.interface(iface).subnet];
+    if (via != kUnreachable && (best == kUnreachable || via < best))
+      best = via;
+  }
+  return best;
 }
 
 std::vector<RoutingTable::NextHop> RoutingTable::next_hops(
     NodeId from, SubnetId target) const {
-  const DistanceVector& dist = distances_for(target);
+  const Routes& routes = routes_for(target);
   std::vector<NextHop> out;
-  const int d = dist.at(from);
+  const int d = resolved_distance(from, routes);
   if (d <= 0) return out;  // attached (local delivery) or unreachable
 
   for (const InterfaceId egress : topology_.node(from).interfaces) {
-    const Subnet& lan = topology_.subnet(topology_.interface(egress).subnet);
-    for (const InterfaceId peer : lan.interfaces) {
-      if (peer == egress) continue;
-      const NodeId v = topology_.interface(peer).node;
-      if (dist[v] != d - 1) continue;
-      // Hosts never forward transit traffic; they may only terminate a path
-      // by delivering onto the target LAN themselves (dist 0).
-      if (topology_.node(v).is_host && dist[v] != 0) continue;
-      out.push_back(NextHop{v, egress, peer});
+    const SubnetId lan_id = topology_.interface(egress).subnet;
+    if (d == 1) {
+      // Delivery hop: peers at distance 0 qualify, and those include hosts
+      // attached to the target (a multi-homed host may only terminate a
+      // path by delivering onto the target LAN itself), so scan the whole
+      // LAN in insertion order exactly like the full-graph BFS would.
+      for (const InterfaceId peer : topology_.subnet(lan_id).interfaces) {
+        if (peer == egress) continue;
+        const NodeId v = topology_.interface(peer).node;
+        if (routes.dist[v] != 0) continue;
+        out.push_back(NextHop{v, egress, peer});
+      }
+    } else {
+      // Transit hop: hosts never forward, so only router peers at d-1 can
+      // carry the path — the per-LAN router slice preserves the LAN's
+      // interface-insertion order, keeping ECMP fan-out order identical.
+      for (const InterfaceId peer : router_interfaces(lan_id)) {
+        if (peer == egress) continue;
+        const NodeId v = topology_.interface(peer).node;
+        if (routes.dist[v] != d - 1) continue;
+        out.push_back(NextHop{v, egress, peer});
+      }
     }
   }
   return out;
@@ -44,13 +73,30 @@ InterfaceId RoutingTable::shortest_path_egress(NodeId from,
   return best;
 }
 
-const RoutingTable::DistanceVector& RoutingTable::distances_for(
-    SubnetId target) const {
+const std::vector<InterfaceId>& RoutingTable::router_interfaces(
+    SubnetId lan) const {
+  // The slice table is rebuilt under the cache lock whenever the topology
+  // version moves (see routes_for); between rebuilds it is read-only, so
+  // this lock-free read is safe under the same no-concurrent-mutation
+  // contract the distance cache already imposes.
+  return router_ifaces_[lan];
+}
+
+void RoutingTable::rebuild_router_interfaces_locked() const {
+  router_ifaces_.assign(topology_.subnet_count(), {});
+  for (SubnetId lan = 0; lan < topology_.subnet_count(); ++lan)
+    for (const InterfaceId iface : topology_.subnet(lan).interfaces)
+      if (!topology_.node(topology_.interface(iface).node).is_host)
+        router_ifaces_[lan].push_back(iface);
+}
+
+const RoutingTable::Routes& RoutingTable::routes_for(SubnetId target) const {
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     if (cached_version_ != topology_.version()) {
       lru_.clear();
       index_.clear();
+      rebuild_router_interfaces_locked();
       cached_version_ = topology_.version();
     } else if (const auto hit = index_.find(target); hit != index_.end()) {
       lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
@@ -60,12 +106,12 @@ const RoutingTable::DistanceVector& RoutingTable::distances_for(
 
   // Miss: compute outside the lock (racing threads may duplicate the work;
   // the first insert wins and the copies agree, BFS being pure).
-  DistanceVector dist = compute_distances(target);
+  Routes routes = compute_routes(target);
 
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   if (const auto hit = index_.find(target); hit != index_.end())
     return hit->second->second;
-  lru_.emplace_front(target, std::move(dist));
+  lru_.emplace_front(target, std::move(routes));
   index_[target] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
@@ -74,40 +120,43 @@ const RoutingTable::DistanceVector& RoutingTable::distances_for(
   return lru_.front().second;
 }
 
-RoutingTable::DistanceVector RoutingTable::compute_distances(
-    SubnetId target) const {
+RoutingTable::Routes RoutingTable::compute_routes(SubnetId target) const {
   // Reverse BFS from the target subnet over the bipartite node <-> LAN
-  // structure. dist[n] = router hops from n to the subnet (0 if attached).
-  // A node u relaxes its LAN peers only if u can forward transit traffic
-  // (not a host) or u is attached to the target (local delivery).
-  DistanceVector dist(topology_.node_count(), kUnreachable);
+  // structure, restricted to nodes that can make forward progress: routers,
+  // plus attached hosts (distance 0, which may deliver onto the target LAN
+  // from their other interfaces). Hosts beyond the target never forward —
+  // the full-graph BFS assigned them first-touch distances only for
+  // queries, and lan_dist reproduces those lazily (resolved_distance).
+  Routes routes;
+  routes.dist.assign(topology_.node_count(), kUnreachable);
+  routes.lan_dist.assign(topology_.subnet_count(), kUnreachable);
   std::deque<NodeId> queue;
   for (const InterfaceId iface : topology_.subnet(target).interfaces) {
     const NodeId node = topology_.interface(iface).node;
-    if (dist[node] != 0) {
-      dist[node] = 0;
+    if (routes.dist[node] != 0) {
+      routes.dist[node] = 0;
       queue.push_back(node);
     }
   }
-  std::vector<bool> lan_done(topology_.subnet_count(), false);
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop_front();
-    if (topology_.node(u).is_host && dist[u] != 0) continue;
+    // Only dist-0 hosts ever enter the queue, so the "hosts do not relay
+    // transit traffic" guard of the full-graph BFS is implicit here.
     for (const InterfaceId egress : topology_.node(u).interfaces) {
       const SubnetId lan_id = topology_.interface(egress).subnet;
-      if (lan_done[lan_id]) continue;  // every peer already relaxed once
-      lan_done[lan_id] = true;
-      for (const InterfaceId peer : topology_.subnet(lan_id).interfaces) {
+      if (routes.lan_dist[lan_id] != kUnreachable) continue;
+      routes.lan_dist[lan_id] = routes.dist[u] + 1;
+      for (const InterfaceId peer : router_interfaces(lan_id)) {
         const NodeId v = topology_.interface(peer).node;
-        if (dist[v] == kUnreachable) {
-          dist[v] = dist[u] + 1;
+        if (routes.dist[v] == kUnreachable) {
+          routes.dist[v] = routes.dist[u] + 1;
           queue.push_back(v);
         }
       }
     }
   }
-  return dist;
+  return routes;
 }
 
 }  // namespace tn::sim

@@ -1,12 +1,18 @@
 // Hop-count shortest-path routing over the router graph.
 //
 // Destinations resolve to subnets; a per-target-subnet reverse BFS yields
-// every node's distance to the subnet. The BFS runs on the bipartite
-// node <-> LAN structure (cost O(#interfaces), never O(k^2) per LAN, so
-// /20-scale multi-access LANs stay cheap). Distance tables are memoized with
-// a small LRU — campaigns exhibit strong target-subnet locality — and are
-// invalidated when the topology version changes, so tests can fail links
-// mid-experiment and observe re-converged routes (§3.7 routing updates).
+// every node's distance to the subnet. The BFS runs on the *router* slice of
+// the bipartite node <-> LAN structure: hosts never forward transit traffic,
+// so a host's distance is fully determined by the LANs it sits on — the BFS
+// records one first-relaxation distance per LAN (`lan_dist`) and host
+// distances resolve lazily from that, instead of walking every member of
+// every /20-scale multi-access LAN per BFS (which used to dominate campaign
+// CPU on ISP-scale topologies). Router distances, host distances and
+// next-hop sets are bit-identical to the full-graph BFS; see the
+// Routing.RoutesMatchFullGraphBfs* tests. Distance tables are memoized with an LRU —
+// campaigns exhibit strong target-subnet locality — and are invalidated when
+// the topology version changes, so tests can fail links mid-experiment and
+// observe re-converged routes (§3.7 routing updates).
 //
 // Next-hop sets are computed on demand per (node, target) query in
 // deterministic interface-insertion order, which per-flow ECMP hashing and
@@ -51,8 +57,15 @@ class RoutingTable {
   InterfaceId shortest_path_egress(NodeId from, SubnetId toward_subnet) const;
 
  private:
-  // Distances of every node to one target subnet.
-  using DistanceVector = std::vector<int>;
+  // Distances to one target subnet. `dist` is materialized for routers and
+  // for nodes attached to the target (distance 0); every other host stays
+  // kUnreachable there and resolves through `lan_dist`: the distance a node
+  // on that LAN would be assigned when the LAN was first relaxed
+  // (kUnreachable when the BFS never reached it).
+  struct Routes {
+    std::vector<int> dist;      // by NodeId
+    std::vector<int> lan_dist;  // by SubnetId
+  };
 
   // Thread-safe: the cache is guarded by an internal mutex and the BFS runs
   // outside it (pure topology read). Returned references point into list
@@ -61,17 +74,28 @@ class RoutingTable {
   // callers must therefore size `cache_capacity` to cover every subnet they
   // will query (Network does) and must not mutate the topology while
   // queries are in flight; smaller capacities remain fine serially.
-  const DistanceVector& distances_for(SubnetId target) const;
+  const Routes& routes_for(SubnetId target) const;
 
-  DistanceVector compute_distances(SubnetId target) const;
+  Routes compute_routes(SubnetId target) const;
+
+  // `from`'s distance under `routes`: materialized when present, else (for
+  // an off-target host) the best LAN-relaxation distance it sits on.
+  int resolved_distance(NodeId from, const Routes& routes) const;
+
+  // Interfaces of forwarding (non-host) nodes on `lan`, in the LAN's
+  // interface-insertion order. Built once per topology version; the returned
+  // reference is stable until the version changes.
+  const std::vector<InterfaceId>& router_interfaces(SubnetId lan) const;
+  void rebuild_router_interfaces_locked() const;
 
   const Topology& topology_;
   std::size_t capacity_;
 
-  // LRU cache: list holds (subnet, distances) in recency order.
+  // LRU cache: list holds (subnet, routes) in recency order.
   mutable std::mutex cache_mutex_;
-  mutable std::list<std::pair<SubnetId, DistanceVector>> lru_;
+  mutable std::list<std::pair<SubnetId, Routes>> lru_;
   mutable std::unordered_map<SubnetId, decltype(lru_)::iterator> index_;
+  mutable std::vector<std::vector<InterfaceId>> router_ifaces_;
   mutable std::uint64_t cached_version_ = ~0ULL;
 };
 

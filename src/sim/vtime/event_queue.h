@@ -1,0 +1,66 @@
+// EventQueue: the pending-delivery set of the discrete-event core.
+//
+// Every blocked virtual-time wait is one Event — "wake me when the clock
+// reaches deliver_at". The queue's total order is the determinism rule of
+// the whole subsystem:
+//
+//     (deliver_at, ordinal, seq)
+//
+// deliver_at first (earliest event advances the clock), then the waiter's
+// target ordinal, then a global admission sequence number — the same
+// tie-break key the trace journal uses to merge per-target shards
+// (trace/journal.h), so "which event is next" is answered identically
+// however worker threads interleave. Two distinct events never compare
+// equal: seq is unique by construction.
+//
+// Not thread-safe on its own; the Scheduler serializes every access under
+// its mutex. Kept as a std::set rather than a binary heap because waiters
+// must also *erase* their event when a wait completes (a heap would need
+// lazy deletion and tombstone sweeps for the same behaviour).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <set>
+
+namespace tn::sim::vtime {
+
+struct Event {
+  std::uint64_t deliver_at = 0;  // virtual microseconds
+  std::uint64_t ordinal = 0;     // target ordinal of the waiting worker
+  std::uint64_t seq = 0;         // global admission sequence (unique)
+
+  friend bool operator<(const Event& a, const Event& b) noexcept {
+    if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+    if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+    return a.seq < b.seq;
+  }
+  friend bool operator==(const Event& a, const Event& b) noexcept {
+    return a.deliver_at == b.deliver_at && a.ordinal == b.ordinal &&
+           a.seq == b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void push(const Event& event) { events_.insert(event); }
+
+  // The next event by the (deliver_at, ordinal, seq) order. Empty-queue
+  // behaviour is a programming error (the scheduler only advances when at
+  // least one waiter is blocked, and every blocked waiter owns an event).
+  const Event& min() const noexcept {
+    assert(!events_.empty());
+    return *events_.begin();
+  }
+
+  // Removes `event` (a waiter reclaiming its entry once its wait is over).
+  void erase(const Event& event) { events_.erase(event); }
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::set<Event> events_;
+};
+
+}  // namespace tn::sim::vtime

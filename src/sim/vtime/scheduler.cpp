@@ -1,0 +1,77 @@
+#include "sim/vtime/scheduler.h"
+
+namespace tn::sim::vtime {
+
+namespace {
+thread_local std::uint64_t tl_ordinal = kUnassignedOrdinal;
+}  // namespace
+
+void Scheduler::set_current_ordinal(std::uint64_t ordinal) noexcept {
+  tl_ordinal = ordinal;
+}
+
+void Scheduler::sleep_us(std::uint64_t us) {
+  if (us == 0) return;
+  // "Wake when the clock reaches now-at-call + us". A concurrent advance
+  // between the read and the wait only means part of the sleep has already
+  // elapsed — wait_until returns early or immediately, which is exactly the
+  // sleep's semantics on a clock that moved on.
+  wait_until(clock_.now_us() + us);
+}
+
+void Scheduler::wait_until(std::uint64_t deadline_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (clock_.now_us() >= deadline_us) return;
+
+  const Event event{deadline_us, tl_ordinal, next_seq_++};
+  queue_.push(event);
+  ++blocked_;
+  ++waits_;
+
+  while (clock_.now_us() < deadline_us) {
+    // The advance rule, evaluated by whoever holds the lock:
+    //  * every registered worker is blocked (nobody can make progress at
+    //    the current simulated instant), and
+    //  * no already-satisfied waiter is still inside wait_until (its event
+    //    would have deliver_at <= now; it must wake and run — or re-block —
+    //    before time moves again, or the clock would skip over a runnable
+    //    worker's next action).
+    // Unregistered waiters count themselves via blocked_, so a serial
+    // driver (workers_ == 0) advances on its own wait immediately.
+    if (blocked_ >= workers_ && queue_.min().deliver_at > clock_.now_us()) {
+      clock_.advance_to(queue_.min().deliver_at);
+      ++advances_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+
+  queue_.erase(event);
+  --blocked_;
+}
+
+void Scheduler::add_worker() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++workers_;
+}
+
+void Scheduler::remove_worker() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  --workers_;
+  // This thread leaving may make the remaining waiters the whole workforce;
+  // one of them must wake to perform the advance.
+  if (blocked_ > 0 && blocked_ >= workers_) cv_.notify_all();
+}
+
+std::uint64_t Scheduler::waits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return waits_;
+}
+
+std::uint64_t Scheduler::advances() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return advances_;
+}
+
+}  // namespace tn::sim::vtime

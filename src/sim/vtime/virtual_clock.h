@@ -1,0 +1,47 @@
+// VirtualClock: the simulation's shared "now", in microseconds.
+//
+// One atomic counter read by everything that timestamps simulated work (the
+// scheduler, the trace journal's vt fields, the metrics wall/virtual split)
+// and advanced only by the scheduler's discrete-event step (scheduler.h).
+// Advancement is monotonic by construction: advance_to() is a max-store, so
+// racing advances can never move time backwards, and readers see a clock
+// that only ever ticks forward — exactly like Shadow's simulated clock, where
+// wall time and simulated "wire" time are fully decoupled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tn::sim::vtime {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(std::uint64_t start_us = 0) noexcept : now_(start_us) {}
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  std::uint64_t now_us() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  // Moves the clock forward to `t_us`; a stale `t_us` (already passed) is a
+  // no-op. Returns the clock value after the call.
+  std::uint64_t advance_to(std::uint64_t t_us) noexcept {
+    std::uint64_t now = now_.load(std::memory_order_relaxed);
+    while (now < t_us &&
+           !now_.compare_exchange_weak(now, t_us, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+    return now < t_us ? t_us : now;
+  }
+
+  // The raw atomic, for observers that sample the clock without owning the
+  // scheduler (the trace journal's optional vt timestamps).
+  const std::atomic<std::uint64_t>& raw() const noexcept { return now_; }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace tn::sim::vtime

@@ -44,8 +44,9 @@ void attr_bool(std::string& out, std::string_view key, bool value) {
   out += value ? "true" : "false";
 }
 
-Recorder::Recorder(std::string_view label, Level level, bool with_timings)
-    : level_(level), with_timings_(with_timings) {
+Recorder::Recorder(std::string_view label, Level level, bool with_timings,
+                   const std::atomic<std::uint64_t>* sim_now)
+    : level_(level), with_timings_(with_timings), sim_now_(sim_now) {
   prefix_ = "{\"target\":\"";
   util::append_json_escaped(prefix_, label);
   prefix_ += "\",\"seq\":";
@@ -54,6 +55,11 @@ Recorder::Recorder(std::string_view label, Level level, bool with_timings)
 void Recorder::emit(std::string_view type, std::string_view attrs) {
   buffer_ += prefix_;
   buffer_ += std::to_string(seq_++);
+  if (sim_now_ != nullptr) {
+    buffer_ += ",\"vt\":";
+    buffer_ +=
+        std::to_string(sim_now_->load(std::memory_order_relaxed));
+  }
   buffer_ += ",\"ev\":\"";
   buffer_ += type;
   buffer_ += '"';
@@ -61,14 +67,15 @@ void Recorder::emit(std::string_view type, std::string_view attrs) {
   buffer_ += "}\n";
 }
 
-JsonlTraceWriter::JsonlTraceWriter(Level level, bool with_timings)
-    : level_(level), with_timings_(with_timings) {}
+JsonlTraceWriter::JsonlTraceWriter(Level level, bool with_timings,
+                                   const std::atomic<std::uint64_t>* sim_now)
+    : level_(level), with_timings_(with_timings), sim_now_(sim_now) {}
 
 Recorder* JsonlTraceWriter::open(std::uint64_t ordinal, std::string_view label) {
   if (level_ == Level::kOff) return nullptr;
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = shards_[ordinal];
-  slot = std::make_unique<Recorder>(label, level_, with_timings_);
+  slot = std::make_unique<Recorder>(label, level_, with_timings_, sim_now_);
   return slot.get();
 }
 

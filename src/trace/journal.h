@@ -22,6 +22,7 @@
 // open/drop of whole per-target buffers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -52,7 +53,14 @@ void attr_bool(std::string& out, std::string_view key, bool value);
 // its bytes deterministic — events land in program order of the serial walk.
 class Recorder {
  public:
-  Recorder(std::string_view label, Level level, bool with_timings);
+  // `sim_now`, when given, is a simulated clock to sample (the virtual-time
+  // scheduler's VirtualClock, docs/SIMULATION.md): every event then carries
+  // a `vt` attribute with the simulated microsecond it was recorded at.
+  // Simulated timestamps are schedule-dependent (they observe the shared
+  // clock), so like with_timings they are opt-in and absent from the
+  // default byte-identical journal.
+  Recorder(std::string_view label, Level level, bool with_timings,
+           const std::atomic<std::uint64_t>* sim_now = nullptr);
 
   // True when events of `level` should be recorded.
   bool wants(Level level) const noexcept {
@@ -63,8 +71,9 @@ class Recorder {
   // True when wall-clock fields (inherently non-deterministic) are wanted.
   bool with_timings() const noexcept { return with_timings_; }
 
-  // Appends `{"target":<label>,"seq":N,"ev":<type><attrs>}\n`. `type` is a
-  // trusted literal; `attrs` must be built with the attr_* helpers.
+  // Appends `{"target":<label>,"seq":N[,"vt":T],"ev":<type><attrs>}\n`.
+  // `type` is a trusted literal; `attrs` must be built with the attr_*
+  // helpers.
   void emit(std::string_view type, std::string_view attrs = {});
 
   const std::string& bytes() const noexcept { return buffer_; }
@@ -76,6 +85,7 @@ class Recorder {
   std::uint64_t seq_ = 0;
   Level level_;
   bool with_timings_;
+  const std::atomic<std::uint64_t>* sim_now_;
 };
 
 // True when `rec` is live and records events of `level`. The whole cost of
@@ -118,7 +128,10 @@ inline constexpr std::uint64_t kCampaignOrdinal = ~0ULL;
 // Sharded JSONL writer: one buffer per target, merged by (ordinal, seq).
 class JsonlTraceWriter final : public EventSink {
  public:
-  explicit JsonlTraceWriter(Level level, bool with_timings = false);
+  // `sim_now` threads a simulated clock into every recorder this writer
+  // opens (see Recorder); nullptr records no vt timestamps.
+  explicit JsonlTraceWriter(Level level, bool with_timings = false,
+                            const std::atomic<std::uint64_t>* sim_now = nullptr);
 
   Level level() const noexcept override { return level_; }
   Recorder* open(std::uint64_t ordinal, std::string_view label) override;
@@ -131,6 +144,7 @@ class JsonlTraceWriter final : public EventSink {
  private:
   Level level_;
   bool with_timings_;
+  const std::atomic<std::uint64_t>* sim_now_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, std::unique_ptr<Recorder>> shards_;
 };

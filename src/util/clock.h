@@ -1,0 +1,89 @@
+// Clock: the seam between time-driven machinery and the source of time.
+//
+// ProbePacer (token refill) and the virtual-time scheduler both need "what
+// time is it" and "wait until later" — but the pacer must run on wall time
+// when probing the live Internet (RawSocketProbeEngine) and on simulated
+// time when the campaign runs under sim/vtime (docs/SIMULATION.md), or its
+// real-second sleeps would stall a simulation that finishes in milliseconds.
+// This interface is that seam: wall and virtual implementations answer the
+// same two questions, and everything built on it (pacing decisions, bucket
+// refills) behaves identically under either clock for the same timestamp
+// sequence — which is what keeps virtual-clock runs byte-identical to
+// wall-sleep runs.
+//
+// Implementations:
+//   * WallClock            — std::chrono::steady_clock (the default everywhere)
+//   * ManualClock          — test clock; sleep_us() advances now_us() exactly
+//   * sim::vtime::Scheduler — simulated time; sleep_us() blocks the calling
+//     worker until the virtual clock reaches the deadline
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace tn::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  // Microseconds on this clock's timeline. Only differences are meaningful;
+  // the epoch is implementation-defined (steady_clock's for WallClock, zero
+  // for ManualClock and the virtual scheduler).
+  virtual std::uint64_t now_us() = 0;
+
+  // Blocks the caller for `us` microseconds of this clock's time.
+  virtual void sleep_us(std::uint64_t us) = 0;
+};
+
+// Wall time via std::chrono::steady_clock. Stateless; `instance()` is the
+// shared default so callers need not own one.
+class WallClock final : public Clock {
+ public:
+  std::uint64_t now_us() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void sleep_us(std::uint64_t us) override {
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  static WallClock& instance() {
+    static WallClock clock;
+    return clock;
+  }
+};
+
+// Test clock: time moves only when told. sleep_us() advances now_us() by
+// exactly the requested amount, so timing-sensitive logic (pacer refills,
+// bucket decisions) can be driven deterministically and instantly.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_us = 0) noexcept : now_(start_us) {}
+
+  std::uint64_t now_us() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void sleep_us(std::uint64_t us) override {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  void set(std::uint64_t us) noexcept {
+    now_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace tn::util

@@ -25,6 +25,7 @@
 #include "runtime/metrics.h"
 #include "sim/faults.h"
 #include "sim/network.h"
+#include "sim/vtime/scheduler.h"
 #include "topo/reference.h"
 
 namespace tn {
@@ -148,6 +149,38 @@ TEST(ChaosGrid, AnonymousAndRateLimitedScenarioStaysDeterministic) {
   EXPECT_EQ(eval::subnets_csv(first), eval::subnets_csv(second));
   for (const core::ObservedSubnet& subnet : first.subnets)
     EXPECT_TRUE(subnet.prefix.contains(subnet.pivot)) << subnet.to_string();
+}
+
+TEST(ChaosGrid, VirtualTimeLossyCampaignMatchesWallBytes) {
+  // Virtual time joins the chaos grid: a parallel campaign at a live-like
+  // RTT under 20% loss, waits elapsing on the discrete-event scheduler,
+  // must reproduce the wall run's subnets_csv byte for byte — and the clean
+  // virtual run must still hit the pre-fault-injection golden pins.
+  for (const bool geant : {false, true}) {
+    const topo::ReferenceTopology ref = reference(geant);
+
+    const auto virtual_csv = [&](double loss) {
+      sim::vtime::Scheduler scheduler;
+      sim::NetworkConfig net_config;
+      net_config.wall_rtt_us = 2000;
+      net_config.scheduler = &scheduler;
+      sim::Network net(ref.topo, net_config);
+      if (loss > 0.0) net.set_faults(sim::FaultSpec::uniform_loss(loss, 7));
+      runtime::RuntimeConfig config;
+      config.jobs = 4;
+      config.campaign.session.probe_window = 16;
+      return eval::subnets_csv(runtime::run_campaign_parallel(
+          net, ref.vantage, "utdallas", ref.targets, config));
+    };
+
+    const std::string clean = virtual_csv(0.0);
+    EXPECT_EQ(clean.size(), geant ? kGeantCsvBytes : kInternet2CsvBytes);
+    EXPECT_EQ(fnv1a64(clean), geant ? kGeantCsvHash : kInternet2CsvHash);
+
+    const eval::VantageObservations wall =
+        run_with_faults(ref, sim::FaultSpec::uniform_loss(0.2, 7));
+    EXPECT_EQ(eval::subnets_csv(wall), virtual_csv(0.2)) << ref.name;
+  }
 }
 
 TEST(ChaosMetrics, LossyCampaignReportsDropsRetriesAndAnonymousHops) {

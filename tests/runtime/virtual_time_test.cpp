@@ -1,0 +1,204 @@
+// The virtual-time determinism contract (docs/SIMULATION.md), end to end:
+//
+//   * subnets_csv AND the merged session journal are byte-identical between
+//     --virtual-time and wall-sleep runs for the same (topology, seed,
+//     fault spec), across jobs {1, 4} x window {1, 16} — delays may change
+//     when probes cross the wire, never what they observe;
+//   * the per-link delay model (link_delay_us, jitter_us) advances the
+//     simulated clock without perturbing any output byte;
+//   * the metrics wall/virtual split is live: a virtual-time campaign
+//     reports the simulated wire time it covered next to the wall time it
+//     actually burned;
+//   * opting into vt journal timestamps annotates events without reordering
+//     them.
+//
+// The wall reference runs at rtt=0 (instant, replies computed identically),
+// plus one true wall-sleep point at a small rtt to keep the comparison
+// honest without burning seconds of test time on real sleeps.
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "runtime/campaign.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "sim/vtime/scheduler.h"
+#include "topo/reference.h"
+#include "trace/journal.h"
+
+namespace tn {
+namespace {
+
+struct VtRun {
+  std::string csv;
+  std::string journal;
+  std::uint64_t wall_us = 0;
+  std::uint64_t virtual_us = 0;
+  std::uint64_t sim_now_us = 0;
+};
+
+struct VtRunConfig {
+  std::uint64_t rtt_us = 0;
+  std::uint64_t link_delay_us = 0;
+  std::uint64_t jitter_us = 0;
+  bool virtual_time = false;
+  bool trace_vtime = false;
+  int jobs = 1;
+  int window = 1;
+};
+
+VtRun run_campaign(const topo::ReferenceTopology& ref, const VtRunConfig& c) {
+  sim::vtime::Scheduler scheduler;
+  sim::NetworkConfig net_config;
+  net_config.wall_rtt_us = c.rtt_us;
+  net_config.link_delay_us = c.link_delay_us;
+  net_config.jitter_us = c.jitter_us;
+  if (c.virtual_time) net_config.scheduler = &scheduler;
+  sim::Network net(ref.topo, net_config);
+  net.set_faults(sim::FaultSpec::uniform_loss(0.2, 7));
+
+  runtime::RuntimeConfig config;
+  config.jobs = c.jobs;
+  config.campaign.session.probe_window = c.window;
+  trace::JsonlTraceWriter writer(
+      trace::Level::kSession, false,
+      c.trace_vtime ? &scheduler.clock().raw() : nullptr);
+  config.trace_sink = &writer;
+  runtime::MetricsRegistry metrics;
+  runtime::CampaignRuntime runtime(net, ref.vantage, config, &metrics);
+
+  VtRun out;
+  out.csv = eval::subnets_csv(runtime.run("utdallas", ref.targets).observations);
+  out.journal = writer.merged();
+  out.wall_us = metrics.counter("time.wall_us").value();
+  out.virtual_us = metrics.counter("time.virtual_us").value();
+  out.sim_now_us = scheduler.now_us();
+  return out;
+}
+
+void expect_same_bytes(const std::string& reference, const std::string& got,
+                       const std::string& what) {
+  if (reference == got) return;
+  std::size_t at = 0;
+  while (at < reference.size() && at < got.size() && reference[at] == got[at])
+    ++at;
+  ADD_FAILURE() << what << ": outputs diverge at byte " << at << " ("
+                << reference.size() << " vs " << got.size() << " bytes)";
+}
+
+TEST(VirtualTime, OutputsByteIdenticalToWallAcrossJobsAndWindow) {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+  const VtRun reference = run_campaign(ref, {});  // wall, rtt=0, serial
+  ASSERT_FALSE(reference.csv.empty());
+  ASSERT_FALSE(reference.journal.empty());
+
+  // One true wall-sleep point: real sleeps, same bytes.
+  {
+    VtRunConfig c;
+    c.rtt_us = 200;
+    c.jobs = 4;
+    c.window = 16;
+    const VtRun wall = run_campaign(ref, c);
+    expect_same_bytes(reference.csv, wall.csv, "wall rtt=200 csv");
+    expect_same_bytes(reference.journal, wall.journal, "wall rtt=200 journal");
+  }
+
+  // The virtual grid: a live-like RTT costs nothing and changes nothing.
+  for (const int jobs : {1, 4}) {
+    for (const int window : {1, 16}) {
+      VtRunConfig c;
+      c.rtt_us = 2000;
+      c.virtual_time = true;
+      c.jobs = jobs;
+      c.window = window;
+      const VtRun virt = run_campaign(ref, c);
+      const std::string what = "virtual jobs=" + std::to_string(jobs) +
+                               " window=" + std::to_string(window);
+      expect_same_bytes(reference.csv, virt.csv, what + " csv");
+      expect_same_bytes(reference.journal, virt.journal, what + " journal");
+      // The campaign really elapsed on the simulated clock.
+      EXPECT_GT(virt.sim_now_us, 2000u) << what;
+    }
+  }
+}
+
+TEST(VirtualTime, LinkDelayAndJitterNeverPerturbOutputs) {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+  const VtRun reference = run_campaign(ref, {});
+
+  VtRunConfig c;
+  c.rtt_us = 2000;
+  c.link_delay_us = 100;
+  c.jitter_us = 50;
+  c.virtual_time = true;
+  c.jobs = 4;
+  c.window = 16;
+  const VtRun delayed = run_campaign(ref, c);
+  expect_same_bytes(reference.csv, delayed.csv, "delay-model csv");
+  expect_same_bytes(reference.journal, delayed.journal, "delay-model journal");
+
+  // Per-link delays make hops cost more than the flat RTT alone.
+  VtRunConfig flat = c;
+  flat.link_delay_us = 0;
+  flat.jitter_us = 0;
+  const VtRun undelayed = run_campaign(ref, flat);
+  EXPECT_GT(delayed.sim_now_us, undelayed.sim_now_us);
+}
+
+TEST(VirtualTime, MetricsReportTheWallVirtualSplit) {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+  VtRunConfig c;
+  c.rtt_us = 2000;
+  c.virtual_time = true;
+  c.jobs = 4;
+  c.window = 16;
+  const VtRun virt = run_campaign(ref, c);
+  // The campaign covered at least many round trips of simulated wire time
+  // and accounted it separately from the wall clock it actually burned.
+  EXPECT_GT(virt.virtual_us, 100'000u);
+  EXPECT_GT(virt.wall_us, 0u);
+  EXPECT_EQ(virt.virtual_us, virt.sim_now_us);
+
+  // Wall-sleep runs do not report virtual time.
+  const VtRun wall = run_campaign(ref, {});
+  EXPECT_EQ(wall.virtual_us, 0u);
+  EXPECT_GT(wall.wall_us, 0u);
+}
+
+TEST(VirtualTime, VtTimestampsAnnotateWithoutReordering) {
+  const topo::ReferenceTopology ref = topo::internet2_like(42);
+  VtRunConfig c;
+  c.rtt_us = 2000;
+  c.virtual_time = true;
+  c.trace_vtime = true;
+  const VtRun stamped = run_campaign(ref, c);
+  EXPECT_NE(stamped.journal.find("\"vt\":"), std::string::npos);
+
+  // Stripping the vt attribute recovers the reference journal byte for
+  // byte: the annotation adds information, never changes event order.
+  const VtRun reference = run_campaign(ref, {});
+  std::string stripped;
+  stripped.reserve(stamped.journal.size());
+  std::size_t pos = 0;
+  while (pos < stamped.journal.size()) {
+    const std::size_t vt = stamped.journal.find(",\"vt\":", pos);
+    if (vt == std::string::npos) {
+      stripped.append(stamped.journal, pos, std::string::npos);
+      break;
+    }
+    stripped.append(stamped.journal, pos, vt - pos);
+    std::size_t end = vt + 6;
+    while (end < stamped.journal.size() &&
+           (std::isdigit(static_cast<unsigned char>(stamped.journal[end])) !=
+            0))
+      ++end;
+    pos = end;
+  }
+  expect_same_bytes(reference.journal, stripped, "vt-stripped journal");
+}
+
+}  // namespace
+}  // namespace tn

@@ -1,0 +1,152 @@
+// Multi-worker virtual-time scheduler hammer (sim/vtime/scheduler.h).
+//
+// These tests exist for two reasons: to pin the discrete-event advance rule
+// under real thread interleavings (the clock only moves when every
+// registered worker is blocked, and only to the earliest pending deadline),
+// and to give TSan a dense workload over the scheduler's mutex + condvar +
+// atomic-clock choreography — the CI thread-sanitizer job runs every
+// VtimeScheduler test explicitly.
+//
+// Every test gates its workers on a ready barrier AFTER registering: a
+// worker that raced ahead of its peers' registration would legitimately
+// advance the clock on its own (the workforce really was all-blocked), and
+// the assertions below pin the all-registered schedule. Spinning at the
+// barrier is safe — a runnable registered worker is exactly what holds the
+// clock still.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/vtime/scheduler.h"
+
+namespace tn::sim::vtime {
+namespace {
+
+TEST(VtimeScheduler, TwoWorkersAdvanceInDeadlineOrder) {
+  Scheduler scheduler;
+  std::atomic<int> ready{0};
+  std::uint64_t woke_a = 0, woke_b = 0;
+  std::thread a([&] {
+    Scheduler::WorkerGuard guard(scheduler);
+    Scheduler::set_current_ordinal(0);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    scheduler.sleep_us(100);
+    woke_a = scheduler.now_us();
+  });
+  std::thread b([&] {
+    Scheduler::WorkerGuard guard(scheduler);
+    Scheduler::set_current_ordinal(1);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    scheduler.sleep_us(200);
+    woke_b = scheduler.now_us();
+  });
+  a.join();
+  b.join();
+  // The 100us sleeper wakes at exactly 100 (the clock cannot jump past the
+  // earliest pending deadline); the 200us sleeper at exactly 200.
+  EXPECT_EQ(woke_a, 100u);
+  EXPECT_EQ(woke_b, 200u);
+  EXPECT_EQ(scheduler.now_us(), 200u);
+}
+
+TEST(VtimeScheduler, ClockWaitsForRunnableWorkers) {
+  // One worker sleeps; the other stays runnable (spinning on real work).
+  // The clock must not move until the runnable worker blocks too.
+  Scheduler scheduler;
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+  std::atomic<std::uint64_t> observed_before_release{0};
+  std::thread sleeper([&] {
+    Scheduler::WorkerGuard guard(scheduler);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    scheduler.sleep_us(500);
+  });
+  std::thread runnable([&] {
+    Scheduler::WorkerGuard guard(scheduler);
+    ready.fetch_add(1);
+    while (!release.load()) {
+      observed_before_release.store(scheduler.now_us());
+      std::this_thread::yield();
+    }
+    scheduler.sleep_us(500);
+  });
+  // Give the sleeper ample real time to block; simulated time must hold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(scheduler.now_us(), 0u);
+  release.store(true);
+  sleeper.join();
+  runnable.join();
+  EXPECT_EQ(observed_before_release.load(), 0u);
+  EXPECT_EQ(scheduler.now_us(), 500u);
+}
+
+TEST(VtimeScheduler, HammerFinalClockIsTheLongestSleepChain) {
+  // Each worker performs a private chain of sleeps. A worker's k-th sleep
+  // starts exactly where its (k-1)-th ended (the clock can never jump past
+  // a pending deadline), so each thread accumulates exactly the sum of its
+  // durations and the final clock is the maximum sum — independent of how
+  // the threads interleave. Repeated to give TSan varied schedules.
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 50;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    Scheduler scheduler;
+    std::atomic<int> ready{0};
+    std::uint64_t expected_max = 0;
+    std::vector<std::uint64_t> sums(kWorkers, 0);
+    std::vector<std::uint64_t> finals(kWorkers, 0);
+    for (int w = 0; w < kWorkers; ++w) {
+      for (int k = 0; k < kRounds; ++k)
+        sums[static_cast<std::size_t>(w)] +=
+            static_cast<std::uint64_t>((w * 31 + k * 7) % 97 + 1);
+      expected_max = std::max(expected_max, sums[static_cast<std::size_t>(w)]);
+    }
+
+    std::vector<std::thread> pool;
+    for (int w = 0; w < kWorkers; ++w)
+      pool.emplace_back([&, w] {
+        Scheduler::WorkerGuard guard(scheduler);
+        Scheduler::set_current_ordinal(static_cast<std::uint64_t>(w));
+        ready.fetch_add(1);
+        while (ready.load() < kWorkers) std::this_thread::yield();
+        for (int k = 0; k < kRounds; ++k)
+          scheduler.sleep_us(
+              static_cast<std::uint64_t>((w * 31 + k * 7) % 97 + 1));
+        finals[static_cast<std::size_t>(w)] = scheduler.now_us();
+      });
+    for (auto& thread : pool) thread.join();
+
+    for (int w = 0; w < kWorkers; ++w)
+      EXPECT_EQ(finals[static_cast<std::size_t>(w)],
+                sums[static_cast<std::size_t>(w)])
+          << "worker " << w << " repeat " << repeat;
+    EXPECT_EQ(scheduler.now_us(), expected_max) << "repeat " << repeat;
+    EXPECT_GE(scheduler.waits(), static_cast<std::uint64_t>(kWorkers));
+  }
+}
+
+TEST(VtimeScheduler, WorkersComeAndGoWithoutStrandingWaiters) {
+  // Short-lived workers join and leave while others are blocked: every
+  // departure re-evaluates the advance rule, so nobody waits forever on a
+  // workforce that shrank underneath them. (No barrier on purpose — the
+  // churn of registrations racing sleeps is the scenario.)
+  Scheduler scheduler;
+  std::vector<std::thread> pool;
+  for (int w = 0; w < 6; ++w)
+    pool.emplace_back([&, w] {
+      for (int k = 0; k < 5; ++k) {
+        Scheduler::WorkerGuard guard(scheduler);
+        scheduler.sleep_us(static_cast<std::uint64_t>(w + k + 1));
+      }
+    });
+  for (auto& thread : pool) thread.join();
+  EXPECT_GT(scheduler.now_us(), 0u);
+}
+
+}  // namespace
+}  // namespace tn::sim::vtime

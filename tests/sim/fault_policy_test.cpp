@@ -8,6 +8,7 @@
 
 #include "sim/faults.h"
 #include "sim/network.h"
+#include "sim/vtime/scheduler.h"
 #include "testutil.h"
 #include "util/strings.h"
 
@@ -350,6 +351,43 @@ TEST(FaultInjection, RateLimiterTokenAccountingUnderBatchWaves) {
   EXPECT_EQ(answered, admitted);
   EXPECT_EQ(net.stats().rate_limited, wave.size() - admitted);
   EXPECT_GT(net.stats().rate_limited, 0u);
+}
+
+TEST(FaultInjection, RateLimiterSequenceIdenticalUnderVirtualTime) {
+  // The 40-probe wave of RateLimiterTokenAccountingUnderBatchWaves, wall vs
+  // virtual time: token buckets refill off the injection-slot clock
+  // (inter_probe_gap_us per probe), never off the scheduler, so the
+  // admitted/suppressed sequence — and therefore every reply — is identical
+  // even though the virtual run waits out a large emulated RTT for free.
+  test::Fig3Topology f;
+  const auto run = [&](bool virtual_time) {
+    vtime::Scheduler scheduler;
+    NetworkConfig config;
+    config.inter_probe_gap_us = 1000;
+    config.wall_rtt_us = virtual_time ? 5000 : 0;
+    if (virtual_time) config.scheduler = &scheduler;
+    Network net(f.topo, config);
+    FaultSpec spec;
+    spec.seed = 1;
+    spec.node_overrides[f.r2].icmp_rate = 100.0;
+    spec.node_overrides[f.r2].icmp_burst = 8.0;
+    net.set_faults(spec);
+    std::vector<net::Probe> wave;
+    for (std::uint16_t flow = 0; flow < 40; ++flow)
+      wave.push_back(indirect_probe(f.pivot3, 3, flow));
+    auto replies = net.send_probe_batch(f.vantage, wave);
+    return std::make_pair(std::move(replies), net.stats().rate_limited);
+  };
+
+  const auto [wall, wall_limited] = run(false);
+  const auto [virt, virt_limited] = run(true);
+  ASSERT_EQ(wall.size(), virt.size());
+  for (std::size_t i = 0; i < wall.size(); ++i) {
+    EXPECT_EQ(wall[i].type, virt[i].type) << "probe " << i;
+    EXPECT_EQ(wall[i].responder, virt[i].responder) << "probe " << i;
+  }
+  EXPECT_EQ(wall_limited, virt_limited);
+  EXPECT_GT(wall_limited, 0u);
 }
 
 TEST(FaultInjection, ReorderPermutesClockOrderNotReplyMapping) {

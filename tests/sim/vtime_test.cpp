@@ -1,0 +1,100 @@
+// Virtual-time core (sim/vtime/, docs/SIMULATION.md): clock monotonicity,
+// the EventQueue's (deliver_at, ordinal, seq) determinism order, and the
+// scheduler's serial semantics — a thread that never registered a worker
+// advances the clock immediately, which is what keeps serial drivers and
+// unit tests free of condvar choreography. The multi-worker behaviour lives
+// in runtime/vtime_scheduler_test.cpp (it needs real threads and runs under
+// the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include "sim/vtime/event_queue.h"
+#include "sim/vtime/scheduler.h"
+#include "sim/vtime/virtual_clock.h"
+
+namespace tn::sim::vtime {
+namespace {
+
+TEST(VirtualClock, StartsWhereToldAndOnlyMovesForward) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_us(), 0u);
+  EXPECT_EQ(clock.advance_to(100), 100u);
+  EXPECT_EQ(clock.now_us(), 100u);
+
+  // A stale advance is a no-op: time never runs backwards.
+  EXPECT_EQ(clock.advance_to(40), 100u);
+  EXPECT_EQ(clock.now_us(), 100u);
+  EXPECT_EQ(clock.advance_to(100), 100u);
+
+  VirtualClock seeded(25);
+  EXPECT_EQ(seeded.now_us(), 25u);
+  EXPECT_EQ(seeded.raw().load(), 25u);
+}
+
+TEST(EventQueue, OrdersByDeliverAtThenOrdinalThenSeq) {
+  EventQueue queue;
+  queue.push({200, 0, 0});
+  queue.push({100, 5, 1});
+  queue.push({100, 2, 7});
+  queue.push({100, 2, 3});
+  ASSERT_EQ(queue.size(), 4u);
+
+  // Earliest deadline first; within a deadline the lower target ordinal;
+  // within an ordinal the earlier admission — the journal merge key.
+  EXPECT_EQ(queue.min(), (Event{100, 2, 3}));
+  queue.erase(queue.min());
+  EXPECT_EQ(queue.min(), (Event{100, 2, 7}));
+  queue.erase(queue.min());
+  EXPECT_EQ(queue.min(), (Event{100, 5, 1}));
+  queue.erase(queue.min());
+  EXPECT_EQ(queue.min(), (Event{200, 0, 0}));
+  queue.erase(queue.min());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EraseRemovesExactlyTheGivenEvent) {
+  EventQueue queue;
+  queue.push({50, 1, 1});
+  queue.push({50, 1, 2});
+  queue.erase({50, 1, 1});
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.min(), (Event{50, 1, 2}));
+}
+
+TEST(Scheduler, UnregisteredThreadAdvancesImmediately) {
+  // No WorkerGuard anywhere: a sleep is the only pending activity, so the
+  // clock jumps straight to the deadline — no other thread involved.
+  Scheduler scheduler;
+  EXPECT_EQ(scheduler.now_us(), 0u);
+  scheduler.sleep_us(250);
+  EXPECT_EQ(scheduler.now_us(), 250u);
+  scheduler.sleep_us(50);
+  EXPECT_EQ(scheduler.now_us(), 300u);
+  EXPECT_EQ(scheduler.advances(), 2u);
+}
+
+TEST(Scheduler, PastDeadlineReturnsWithoutBlockingOrAdvancing) {
+  Scheduler scheduler;
+  scheduler.sleep_us(100);
+  const std::uint64_t advances = scheduler.advances();
+  scheduler.wait_until(40);   // already elapsed
+  scheduler.wait_until(100);  // exactly now
+  EXPECT_EQ(scheduler.now_us(), 100u);
+  EXPECT_EQ(scheduler.advances(), advances);
+}
+
+TEST(Scheduler, ZeroSleepIsANoOp) {
+  Scheduler scheduler;
+  scheduler.sleep_us(0);
+  EXPECT_EQ(scheduler.now_us(), 0u);
+}
+
+TEST(Scheduler, ServesTheClockInterface) {
+  // The pacer holds a util::Clock*; the scheduler must behave as one.
+  Scheduler scheduler;
+  util::Clock& clock = scheduler;
+  clock.sleep_us(75);
+  EXPECT_EQ(clock.now_us(), 75u);
+}
+
+}  // namespace
+}  // namespace tn::sim::vtime

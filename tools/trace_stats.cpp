@@ -9,10 +9,14 @@
 //   trace_stats JOURNAL            per-target timelines + aggregate summary
 //   trace_stats --summary JOURNAL  aggregate summary only
 //   trace_stats --target T JOURNAL limit timelines to target T
+//   trace_stats --virtual JOURNAL  prefix a [vt N] column with the simulated
+//                                  microsecond each event was recorded at
+//                                  (journals written with --trace-vtime)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,7 +30,8 @@ namespace {
 int usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: trace_stats [--summary] [--target T] JOURNAL\n"
+               "usage: trace_stats [--summary] [--target T] [--virtual] "
+               "JOURNAL\n"
                "       (JOURNAL is a tracenet_cli --trace-out file; - reads "
                "stdin)\n");
   return 2;
@@ -121,10 +126,22 @@ void print_event(const trace::JournalEvent& e) {
   // probe / wave / retry / campaign events are aggregate-only.
 }
 
+// True when print_event emits a line for this event (so the --virtual
+// timestamp column never prints a dangling prefix).
+bool prints(const trace::JournalEvent& e) {
+  if (e.type == "span") return e.num("us").has_value();
+  for (const char* type :
+       {"session", "hop", "trace_done", "hop_skip", "position", "explore",
+        "heur", "level", "h9", "subnet", "session_done", "retry_stop",
+        "campaign_done"})
+    if (e.type == type) return true;
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Args args({"summary"}, {"target"});
+  util::Args args({"summary", "virtual"}, {"target"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.positional().size() != 1) return usage("want exactly one JOURNAL");
   const std::string path = args.positional().front();
@@ -145,9 +162,11 @@ int main(int argc, char** argv) {
   }
 
   const bool summary_only = args.flag("summary");
+  const bool show_vtime = args.flag("virtual");
   const auto only_target = args.option("target");
 
   Aggregates agg;
+  std::optional<std::int64_t> vt_first, vt_last;
   std::string current_target;
   for (const trace::JournalEvent& e : events) {
     if (e.target != current_target && e.target != "campaign") {
@@ -170,10 +189,20 @@ int main(int argc, char** argv) {
     } else if (e.type == "wave") ++agg.waves;
     else if (e.type == "retry") ++agg.retries;
     else if (e.type == "retry_stop") ++agg.retry_stops;
+    if (const auto vt = e.num("vt")) {
+      if (!vt_first || *vt < *vt_first) vt_first = *vt;
+      if (!vt_last || *vt > *vt_last) vt_last = *vt;
+    }
 
     if (summary_only) continue;
     if (only_target && e.target != *only_target && e.target != "campaign")
       continue;
+    if (show_vtime && prints(e)) {
+      if (const auto vt = e.num("vt"))
+        std::printf("[vt %8lld] ", static_cast<long long>(*vt));
+      else
+        std::printf("[vt        ?] ");
+    }
     print_event(e);
   }
 
@@ -191,5 +220,10 @@ int main(int argc, char** argv) {
                 "retries, %zu budget stops\n",
                 agg.probes, agg.cache_hits, agg.waves, agg.retries,
                 agg.retry_stops);
+  if (vt_first)
+    std::printf("virtual time: %lld..%lld us (%lld us simulated)\n",
+                static_cast<long long>(*vt_first),
+                static_cast<long long>(*vt_last),
+                static_cast<long long>(*vt_last - *vt_first));
   return 0;
 }

@@ -24,6 +24,14 @@
 //   --rtt-us N          emulated round-trip time per wire probe on the
 //                       simulator (NetworkConfig::wall_rtt_us), so campaign
 //                       runs and --metrics reflect RTT-bound profiles
+//   --virtual-time      discrete-event simulation: emulated RTTs elapse on a
+//                       simulated clock instead of real sleeps, so RTT-bound
+//                       campaigns finish in milliseconds of wall time with
+//                       byte-identical output (see docs/SIMULATION.md)
+//   --link-delay-us N   per-link one-way delay added to the emulated RTT
+//                       (each probe pays 2*N per link crossed); simulator only
+//   --jitter-us N       deterministic per-probe jitter bound on the emulated
+//                       delay, keyed off probe content; simulator only
 //   --pps N             aggregate probe budget, probes/second (0 = no cap)
 //   --loss P            simulated end-to-end probe loss probability (0..1)
 //   --fault-seed N      seed for the fault draws (default 0)
@@ -36,6 +44,9 @@
 //   --trace-level L     off | session (default with --trace-out) | probe
 //   --trace-times       include wall-clock span timings in the journal
 //                       (breaks byte-determinism across runs; off by default)
+//   --trace-vtime       stamp every journal event with the simulated clock
+//                       ("vt" attribute, microseconds); needs --virtual-time
+//                       (schedule-dependent, so off by default)
 //   --csv FILE          write collected subnets as CSV
 //   --dot FILE          write the inferred router-level map as Graphviz DOT
 //   --verbose           per-hop / per-subnet diagnostics on stderr
@@ -55,6 +66,7 @@
 #include "runtime/metrics.h"
 #include "runtime/pacer.h"
 #include "sim/network.h"
+#include "sim/vtime/scheduler.h"
 #include "topo/isp.h"
 #include "topo/reference.h"
 #include "topo/serialize.h"
@@ -77,11 +89,14 @@ int usage(const char* error) {
                "                    [--max-ttl N] [--retries N] [--multipath]\n"
                "                    [--jobs N] [--fast] [--window N] "
                "[--rtt-us N] [--pps N]\n"
+               "                    [--virtual-time] [--link-delay-us N] "
+               "[--jitter-us N]\n"
                "                    [--loss P] [--fault-seed N] "
                "[--fault-spec FILE]\n"
                "                    [--metrics text|json]\n"
                "                    [--trace-out FILE] "
-               "[--trace-level off|session|probe] [--trace-times]\n"
+               "[--trace-level off|session|probe] [--trace-times] "
+               "[--trace-vtime]\n"
                "                    [--csv FILE] [--dot FILE] [--verbose] "
                "[targets...]\n");
   return 2;
@@ -172,11 +187,13 @@ std::optional<SimWorld> make_world(const util::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Args args({"live", "multipath", "verbose", "fast", "trace-times"},
+  util::Args args({"live", "multipath", "verbose", "fast", "trace-times",
+                   "virtual-time", "trace-vtime"},
                   {"demo", "topology", "targets", "vantage", "protocol",
                    "max-ttl", "retries", "csv", "dot", "jobs", "pps",
                    "metrics", "window", "rtt-us", "loss", "fault-seed",
-                   "fault-spec", "trace-out", "trace-level"});
+                   "fault-spec", "trace-out", "trace-level", "link-delay-us",
+                   "jitter-us"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
 
@@ -205,6 +222,18 @@ int main(int argc, char** argv) {
     return usage("bad --rtt-us");
   if (rtt_us > 0 && args.flag("live"))
     return usage("--rtt-us emulates RTT on the simulator; drop it for --live");
+  std::uint64_t link_delay_us = 0, jitter_us = 0;
+  if (!util::parse_u64(args.option_or("link-delay-us", "0"), link_delay_us) ||
+      link_delay_us > 10'000'000)
+    return usage("bad --link-delay-us");
+  if (!util::parse_u64(args.option_or("jitter-us", "0"), jitter_us) ||
+      jitter_us > 10'000'000)
+    return usage("bad --jitter-us");
+  const bool virtual_time = args.flag("virtual-time");
+  if ((virtual_time || link_delay_us > 0 || jitter_us > 0) &&
+      args.flag("live"))
+    return usage("--virtual-time/--link-delay-us/--jitter-us drive the "
+                 "simulator; drop them for --live");
   double loss = 0.0;
   if (const auto text = args.option("loss");
       text && (!util::parse_double(*text, loss) || loss > 1.0))
@@ -231,6 +260,8 @@ int main(int argc, char** argv) {
   }
   if (args.flag("trace-times") && !trace_out)
     return usage("--trace-times needs --trace-out");
+  if (args.flag("trace-vtime") && (!trace_out || !virtual_time))
+    return usage("--trace-vtime needs --trace-out and --virtual-time");
   if (trace_out && args.flag("multipath"))
     return usage("--trace-out is not supported with --multipath");
   const std::string metrics_format = args.option_or("metrics", "");
@@ -257,7 +288,9 @@ int main(int argc, char** argv) {
     targets.insert(targets.end(), from_file.begin(), from_file.end());
   }
 
-  // Engine selection.
+  // Engine selection. The virtual-time scheduler (if any) must outlive the
+  // network, which keeps a raw pointer to it.
+  std::optional<sim::vtime::Scheduler> scheduler;
   std::unique_ptr<sim::Network> network;
   std::unique_ptr<probe::ProbeEngine> engine;
   std::optional<SimWorld> world;
@@ -275,6 +308,12 @@ int main(int argc, char** argv) {
     if (!world) return 1;
     sim::NetworkConfig net_config;
     net_config.wall_rtt_us = rtt_us;
+    net_config.link_delay_us = link_delay_us;
+    net_config.jitter_us = jitter_us;
+    if (virtual_time) {
+      scheduler.emplace();
+      net_config.scheduler = &*scheduler;
+    }
     network = std::make_unique<sim::Network>(world->topo, net_config);
     if (wants_faults) {
       sim::FaultSpec spec;
@@ -308,7 +347,8 @@ int main(int argc, char** argv) {
   std::unique_ptr<probe::ProbeEngine> paced;
   probe::ProbeEngine* active = engine.get();
   if (pps > 0 && !use_runtime) {
-    pacer.emplace(static_cast<double>(pps));
+    pacer.emplace(static_cast<double>(pps), 8.0,
+                  scheduler ? &*scheduler : nullptr);
     paced = std::make_unique<runtime::PacedProbeEngine>(*engine, *pacer);
     active = paced.get();
   }
@@ -316,7 +356,9 @@ int main(int argc, char** argv) {
   // Flight recorder: one writer shared by whichever pipeline runs below.
   std::optional<trace::JsonlTraceWriter> tracer;
   if (trace_out && trace_level != trace::Level::kOff)
-    tracer.emplace(trace_level, args.flag("trace-times"));
+    tracer.emplace(trace_level, args.flag("trace-times"),
+                   args.flag("trace-vtime") ? &scheduler->clock().raw()
+                                            : nullptr);
 
   // Run.
   std::vector<core::SessionResult> sessions;
