@@ -1,0 +1,96 @@
+// Regenerates the inference-accuracy scorecard: the full adversarial grid of
+// eval::default_grid() — loss sweeps, anonymous densities, black holes, rate
+// limits, mid-campaign routing churn, MPLS-like hop hiding, multipath and
+// firewall extremes, each on both pinned references — classified against
+// ground truth and written as ACCURACY_scorecard.json (docs/ACCURACY.md).
+//
+// The emitted JSON is a pure function of the grid: byte-identical across
+// --jobs, --window and wall vs --virtual-time (pinned by tests/chaos and
+// tests/accuracy). CI regenerates it with --virtual-time and diffs it
+// against the committed copy with tools/accuracy_diff; regenerate and
+// recommit when an intentional heuristic change moves a cell.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/scorecard.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tn;
+
+std::string rate(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args({"virtual-time"}, {"out", "jobs", "window"});
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    std::fprintf(stderr,
+                 "usage: bench_accuracy_scorecard [--virtual-time] "
+                 "[--jobs N] [--window N] [--out FILE]\n");
+    return 2;
+  }
+
+  eval::ScorecardRunConfig config;
+  config.virtual_time = args.flag("virtual-time");
+  config.jobs = std::stoi(args.option_or("jobs", "1"));
+  config.probe_window = std::stoi(args.option_or("window", "1"));
+  const std::string out_path =
+      args.option_or("out", "ACCURACY_scorecard.json");
+
+  std::printf("== Accuracy scorecard: adversarial grid vs ground truth ==\n\n");
+  std::printf("clock %s, jobs %d, window %d\n\n",
+              config.virtual_time ? "virtual" : "wall", config.jobs,
+              config.probe_window);
+
+  const std::vector<eval::ScenarioCell> grid = eval::default_grid();
+  eval::Scorecard card;
+  card.cells.reserve(grid.size());
+  for (const eval::ScenarioCell& cell : grid) {
+    card.cells.push_back(eval::run_cell(cell, config));
+    const eval::CellResult& result = card.cells.back();
+    std::printf("  %-14s %-9s exact %3d/%3d\n", cell.scenario.c_str(),
+                cell.topology.c_str(),
+                result.count(eval::MatchClass::kExact), result.truth_subnets);
+  }
+
+  util::Table table({"scenario", "topology", "truth", "exact", "miss", "under",
+                     "over", "split", "merged", "exact rate", "excl unresp",
+                     "tolerance"});
+  for (const eval::CellResult& result : card.cells)
+    table.add_row({result.cell.scenario, result.cell.topology,
+                   std::to_string(result.truth_subnets),
+                   std::to_string(result.count(eval::MatchClass::kExact)),
+                   std::to_string(result.count(eval::MatchClass::kMissing)),
+                   std::to_string(
+                       result.count(eval::MatchClass::kUnderestimated)),
+                   std::to_string(
+                       result.count(eval::MatchClass::kOverestimated)),
+                   std::to_string(result.count(eval::MatchClass::kSplit)),
+                   std::to_string(result.count(eval::MatchClass::kMerged)),
+                   rate(result.exact_rate),
+                   rate(result.exact_rate_responsive),
+                   rate(result.cell.tolerance)});
+  std::printf("\n%s", table.render().c_str());
+
+  const std::string json = card.to_json();
+  std::ofstream out(out_path, std::ios::binary);
+  out << json;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu cells, %zu bytes)\n", out_path.c_str(),
+              card.cells.size(), json.size());
+  return 0;
+}

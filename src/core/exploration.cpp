@@ -294,6 +294,7 @@ void SubnetExplorer::prescan(const std::vector<net::Ipv4Addr>& candidates,
     probe.ttl = static_cast<std::uint8_t>(ttl);
     probe.protocol = config_.protocol;
     probe.flow_id = config_.flow_id;
+    probe.epoch = config_.epoch;
     wave.push_back(probe);
   };
   for (const net::Ipv4Addr l : candidates) {

@@ -25,6 +25,7 @@ namespace tn::core {
 struct ExplorerConfig {
   net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
   std::uint16_t flow_id = 0;
+  std::uint8_t epoch = 0;  // routing epoch stamped on probes (SessionConfig)
   // Growth floor: never grow beyond this prefix length. The paper's loop
   // runs to /0 and relies on the utilization rule to stop; a floor bounds
   // probe cost against pathological topologies. /16 is far below the /20
@@ -98,7 +99,7 @@ class SubnetExplorer {
   net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
     if (ttl < 1) return net::ProbeReply::none();
     return engine_.indirect(target, static_cast<std::uint8_t>(ttl),
-                            config_.protocol, config_.flow_id);
+                            config_.protocol, config_.flow_id, config_.epoch);
   }
   bool alive(const net::ProbeReply& reply) const noexcept {
     return net::is_alive_reply(config_.protocol, reply.type);

@@ -68,11 +68,13 @@ Position SubnetPositioner::position(std::optional<net::Ipv4Addr> u,
   const net::ProbeReply mate_probe = probe_at(v.mate31(), vh);
   bool pivot_is_mate = false;
   if (mate_probe.is_ttl_exceeded()) {
-    if (alive(engine_.direct(v.mate31(), config_.protocol, config_.flow_id))) {
+    if (alive(engine_.direct(v.mate31(), config_.protocol, config_.flow_id,
+                             config_.epoch))) {
       result.pivot = v.mate31();
       pivot_is_mate = true;
     } else if (alive(
-                   engine_.direct(v.mate30(), config_.protocol, config_.flow_id))) {
+                   engine_.direct(v.mate30(), config_.protocol, config_.flow_id,
+                                  config_.epoch))) {
       result.pivot = v.mate30();
       pivot_is_mate = true;
     }

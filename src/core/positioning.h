@@ -23,6 +23,7 @@ namespace tn::core {
 struct PositioningConfig {
   net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
   std::uint16_t flow_id = 0;
+  std::uint8_t epoch = 0;  // routing epoch stamped on probes (SessionConfig)
   // How far from the trace hop distance the direct-distance search may roam
   // before giving up and trusting the trace distance.
   int distance_search_radius = 5;
@@ -56,7 +57,7 @@ class SubnetPositioner {
   net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
     if (ttl < 1) return net::ProbeReply::none();
     return engine_.indirect(target, static_cast<std::uint8_t>(ttl),
-                            config_.protocol, config_.flow_id);
+                            config_.protocol, config_.flow_id, config_.epoch);
   }
   bool alive(const net::ProbeReply& reply) const noexcept {
     return net::is_alive_reply(config_.protocol, reply.type);

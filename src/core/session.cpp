@@ -17,6 +17,7 @@ TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
   config_.explore.flow_id = config_.flow_id;
   config_.positioning.protocol = config_.protocol;
   config_.positioning.flow_id = config_.flow_id;
+  set_epoch(config_.epoch);
   config_.trace.probe_window = config_.probe_window;
   config_.explore.probe_window = config_.probe_window;
 
@@ -49,6 +50,7 @@ void TracenetSession::prescan_positioning(const TracePath& path) {
     probe.ttl = static_cast<std::uint8_t>(ttl);
     probe.protocol = config_.protocol;
     probe.flow_id = config_.flow_id;
+    probe.epoch = config_.epoch;
     wave.push_back(probe);
   };
   for (const TraceHop& hop : path.hops) {

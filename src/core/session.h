@@ -26,6 +26,10 @@ namespace tn::core {
 struct SessionConfig {
   net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
   std::uint16_t flow_id = 0;
+  // Routing epoch stamped on every probe of the session (net::Probe::epoch).
+  // Campaigns running under a churn fault spec set this per target from
+  // FaultSpec::epoch_of(target_index); 0 otherwise.
+  std::uint8_t epoch = 0;
   TracerouteConfig trace;          // protocol/flow_id fields overridden
   ExplorerConfig explore;          // protocol/flow_id fields overridden
   PositioningConfig positioning;   // protocol/flow_id fields overridden
@@ -90,6 +94,16 @@ class TracenetSession {
     config_.explore.recorder = recorder;
     if (cache_) cache_->set_recorder(recorder);
     if (retry_) retry_->set_recorder(recorder);
+  }
+
+  // Routing epoch for subsequent runs (routing churn, sim/faults.h). Session
+  // objects are reused across targets, so the campaign sets this per run,
+  // like set_recorder; it is propagated into every sub-config.
+  void set_epoch(std::uint8_t epoch) noexcept {
+    config_.epoch = epoch;
+    config_.trace.epoch = epoch;
+    config_.explore.epoch = epoch;
+    config_.positioning.epoch = epoch;
   }
 
  private:

@@ -27,7 +27,8 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
     net::ProbeReply reply;
     if (window <= 1) {
       reply = engine_.indirect(destination, static_cast<std::uint8_t>(ttl),
-                               config_.protocol, config_.flow_id);
+                               config_.protocol, config_.flow_id,
+                               config_.epoch);
     } else {
       if (ttl > wave_base + static_cast<int>(wave.size())) {
         wave_base = ttl - 1;
@@ -39,6 +40,7 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
               static_cast<std::uint8_t>(wave_base + 1 + i);
           probes[static_cast<std::size_t>(i)].protocol = config_.protocol;
           probes[static_cast<std::size_t>(i)].flow_id = config_.flow_id;
+          probes[static_cast<std::size_t>(i)].epoch = config_.epoch;
         }
         wave = engine_.probe_batch(probes);
       }

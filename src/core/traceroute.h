@@ -17,6 +17,7 @@ namespace tn::core {
 struct TracerouteConfig {
   net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp;
   std::uint16_t flow_id = 0;
+  std::uint8_t epoch = 0;  // routing epoch stamped on probes (SessionConfig)
   int max_ttl = 32;
   // Give up after this many consecutive anonymous hops (firewalled tail or
   // unreachable destination).

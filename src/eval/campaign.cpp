@@ -62,7 +62,13 @@ VantageObservations run_campaign(sim::Network& network, sim::NodeId vantage,
   core::TracenetSession session(wire, config.session);
   CampaignAccumulator acc(vantage_name, targets.size());
 
-  for (const net::Ipv4Addr target : targets) {
+  const sim::FaultSpec& faults = network.faults();
+  for (std::size_t index = 0; index < targets.size(); ++index) {
+    const net::Ipv4Addr target = targets[index];
+    // Routing-churn epoch: a pure function of the target's schedule
+    // position, so every schedule (serial, windowed, parallel) stamps the
+    // same epoch on the same target (sim/faults.h).
+    session.set_epoch(faults.epoch_of(index));
     if (config.skip_covered_targets && acc.covered(target)) {
       acc.note_covered();
       continue;

@@ -16,6 +16,12 @@ std::string to_string(MatchClass match) {
   return "?";
 }
 
+std::optional<MatchClass> match_class_from_string(std::string_view text) {
+  for (const MatchClass match : kAllMatchClasses)
+    if (to_string(match) == text) return match;
+  return std::nullopt;
+}
+
 int Classification::total(const Row& row) const {
   int sum = 0;
   for (const auto& [length, count] : row) sum += count;

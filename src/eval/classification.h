@@ -10,7 +10,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/types.h"
@@ -29,6 +31,18 @@ enum class MatchClass : std::uint8_t {
 };
 
 std::string to_string(MatchClass match);
+
+// Inverse of to_string; nullopt for anything that is not a class name.
+// Scorecard readers (tools/accuracy_diff) round-trip verdicts through this.
+std::optional<MatchClass> match_class_from_string(std::string_view text);
+
+// Every enumerator, in declaration order — the scorecard's stable histogram
+// order and the property tests' round-trip domain.
+inline constexpr MatchClass kAllMatchClasses[] = {
+    MatchClass::kExact,         MatchClass::kMissing,
+    MatchClass::kUnderestimated, MatchClass::kOverestimated,
+    MatchClass::kSplit,         MatchClass::kMerged,
+};
 
 struct SubnetVerdict {
   const topo::GroundTruthSubnet* truth = nullptr;

@@ -61,6 +61,12 @@ struct Probe {
   // decorrelates the simulator's fault draws, so a retry of a lost probe
   // rolls a fresh, independent fate (docs/FAULTS.md).
   std::uint8_t attempt = 0;
+  // Routing epoch the probe belongs to (sim/faults.h `churn`). 0 before the
+  // churn point, 1 after; campaigns stamp it per target from the target's
+  // nominal position in the schedule, so it is probe *content*: replies stay
+  // pure functions of the probe, caches key on it, and churn replays
+  // byte-identically across serial/windowed/parallel and wall/virtual runs.
+  std::uint8_t epoch = 0;
 
   bool is_direct() const noexcept { return ttl >= kDirectProbeTtl; }
 };

@@ -1,4 +1,5 @@
-// CachingProbeEngine: memoizes replies per (target, ttl, protocol).
+// CachingProbeEngine: memoizes replies per (target, flow, ttl, protocol,
+// epoch).
 //
 // §3.5 notes the real tracenet "is optimized to collect the subnets with the
 // least number of probes and some of the rules are merged together": several
@@ -54,20 +55,22 @@ class CachingProbeEngine final : public ProbeEngine {
     std::uint16_t flow_id;  // ECMP can answer differently per flow
     std::uint8_t ttl;
     std::uint8_t protocol;
+    std::uint8_t epoch;  // routing churn: epochs are distinct routing planes
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.target) << 32) |
-          (static_cast<std::uint64_t>(k.flow_id) << 16) |
-          (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol);
+          ((static_cast<std::uint64_t>(k.target) << 32) |
+           (static_cast<std::uint64_t>(k.flow_id) << 16) |
+           (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol) ^
+          (static_cast<std::uint64_t>(k.epoch) * 0x9E3779B97F4A7C15ULL));
     }
   };
 
   static Key key_of(const net::Probe& request) noexcept {
     return Key{request.target.value(), request.flow_id, request.ttl,
-               static_cast<std::uint8_t>(request.protocol)};
+               static_cast<std::uint8_t>(request.protocol), request.epoch};
   }
 
   net::ProbeReply do_probe(const net::Probe& request) override {

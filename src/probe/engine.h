@@ -61,24 +61,26 @@ class ProbeEngine {
   // §3.1(i) direct probing: large TTL, tests liveness of `target`.
   net::ProbeReply direct(net::Ipv4Addr target,
                          net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp,
-                         std::uint16_t flow_id = 0) {
+                         std::uint16_t flow_id = 0, std::uint8_t epoch = 0) {
     net::Probe p;
     p.target = target;
     p.ttl = net::kDirectProbeTtl;
     p.protocol = protocol;
     p.flow_id = flow_id;
+    p.epoch = epoch;
     return probe(p);
   }
 
   // §3.1(ii) indirect probing: small TTL, reveals the router at that hop.
   net::ProbeReply indirect(net::Ipv4Addr target, std::uint8_t ttl,
                            net::ProbeProtocol protocol = net::ProbeProtocol::kIcmp,
-                           std::uint16_t flow_id = 0) {
+                           std::uint16_t flow_id = 0, std::uint8_t epoch = 0) {
     net::Probe p;
     p.target = target;
     p.ttl = ttl;
     p.protocol = protocol;
     p.flow_id = flow_id;
+    p.epoch = epoch;
     return probe(p);
   }
 

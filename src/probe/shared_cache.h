@@ -6,7 +6,7 @@
 // trace toward the same ISP re-walks the same first hops and re-tests the
 // same infrastructure subnets (the observation behind Doubletree's shared
 // stop set). This decorator is the campaign-wide analogue: one
-// (target, flow, ttl, protocol) -> reply table shared by all workers,
+// (target, flow, ttl, protocol, epoch) -> reply table shared by all workers,
 // sharded by key hash so concurrent sessions rarely contend on one mutex.
 //
 // Replies are assumed stable for the lifetime of the campaign — the same
@@ -64,14 +64,16 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     std::uint16_t flow_id;
     std::uint8_t ttl;
     std::uint8_t protocol;
+    std::uint8_t epoch;  // routing churn: epochs are distinct routing planes
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.target) << 32) |
-          (static_cast<std::uint64_t>(k.flow_id) << 16) |
-          (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol);
+          ((static_cast<std::uint64_t>(k.target) << 32) |
+           (static_cast<std::uint64_t>(k.flow_id) << 16) |
+           (static_cast<std::uint64_t>(k.ttl) << 8) | k.protocol) ^
+          (static_cast<std::uint64_t>(k.epoch) * 0x9E3779B97F4A7C15ULL));
     }
   };
   struct Shard {
@@ -79,11 +81,15 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     std::unordered_map<Key, net::ProbeReply, KeyHash> replies;
   };
 
+  static Key key_of(const net::Probe& request) noexcept {
+    return Key{request.target.value(), request.flow_id, request.ttl,
+               static_cast<std::uint8_t>(request.protocol), request.epoch};
+  }
+
   static constexpr std::size_t kShards = 16;
 
   net::ProbeReply do_probe(const net::Probe& request) override {
-    const Key key{request.target.value(), request.flow_id, request.ttl,
-                  static_cast<std::uint8_t>(request.protocol)};
+    const Key key = key_of(request);
     Shard& shard = shards_[KeyHash{}(key) % kShards];
     {
       const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -120,9 +126,7 @@ class SharedCachingProbeEngine final : public ProbeEngine {
     std::vector<std::pair<std::size_t, std::size_t>> duplicates;
     std::uint64_t hits = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      const Key key{requests[i].target.value(), requests[i].flow_id,
-                    requests[i].ttl,
-                    static_cast<std::uint8_t>(requests[i].protocol)};
+      const Key key = key_of(requests[i]);
       if (const auto it = pending.find(key); it != pending.end()) {
         ++hits;
         duplicates.emplace_back(i, it->second);
@@ -155,9 +159,7 @@ class SharedCachingProbeEngine final : public ProbeEngine {
       for (std::size_t j = 0; j < misses.size(); ++j) {
         replies[miss_request[j]] = fresh[j];
         if (!keep_none && fresh[j].is_none()) continue;
-        const Key key{misses[j].target.value(), misses[j].flow_id,
-                      misses[j].ttl,
-                      static_cast<std::uint8_t>(misses[j].protocol)};
+        const Key key = key_of(misses[j]);
         Shard& shard = shards_[KeyHash{}(key) % kShards];
         const std::lock_guard<std::mutex> lock(shard.mutex);
         shard.replies.insert_or_assign(key, fresh[j]);

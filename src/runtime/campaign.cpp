@@ -148,6 +148,10 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
 
       if (sink != nullptr)
         session.set_recorder(sink->open(index, target.to_string()));
+      // Routing-churn epoch is a pure function of the target's schedule
+      // position (sim/faults.h), so whichever worker claims the target
+      // stamps the same epoch a serial run would.
+      session.set_epoch(network_.faults().epoch_of(index));
       const auto started = std::chrono::steady_clock::now();
       core::SessionResult result = session.run(target);
       if (sink != nullptr) session.set_recorder(nullptr);
@@ -210,6 +214,7 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       if (!fallback) fallback.emplace(merge_engine, config_.campaign.session);
       if (sink != nullptr)
         fallback->set_recorder(sink->open(index, target.to_string()));
+      fallback->set_epoch(network_.faults().epoch_of(index));
       results[index] = fallback->run(target);
       if (sink != nullptr) fallback->set_recorder(nullptr);
       ++report.fallback_sessions;

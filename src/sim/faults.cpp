@@ -99,6 +99,16 @@ std::optional<NodeId> find_node(const Topology& topology,
 
 }  // namespace
 
+bool FaultSpec::churned(NodeId node) const noexcept {
+  if (churn_fraction <= 0.0) return false;
+  if (churn_fraction >= 1.0) return true;
+  // Seed-keyed membership draw: the churned set is a pure function of
+  // (seed, node), never of probe traffic or schedule.
+  const std::uint64_t roll =
+      mix(mix(seed ^ 0xC0B7ED9E11ULL) ^ static_cast<std::uint64_t>(node));
+  return static_cast<double>(roll >> 11) * 0x1.0p-53 < churn_fraction;
+}
+
 util::Rng fault_draw_stream(std::uint64_t seed,
                             const net::Probe& probe) noexcept {
   // Content key, attempt included: a retry is a fresh packet with its own
@@ -132,6 +142,67 @@ FaultSpec parse_fault_spec(std::istream& in, const Topology& topology,
           window > 1024)
         fail(source, line_number, "reorder wants a window in 0..1024");
       spec.reorder_window = static_cast<int>(window);
+    } else if (fields[0] == "hide") {
+      // hide LO-HI: walk depths whose routers skip the TTL decrement.
+      const std::string& value = fields.size() == 2 ? fields[1] : raw;
+      const auto dash =
+          fields.size() == 2 ? fields[1].find('-') : std::string::npos;
+      std::uint64_t lo = 0, hi = 0;
+      const bool ok = fields.size() == 2 && dash != std::string::npos &&
+                      util::parse_u64(fields[1].substr(0, dash), lo) &&
+                      util::parse_u64(fields[1].substr(dash + 1), hi);
+      if (!ok || lo == 0 || hi > 255)
+        fail(source, line_number,
+             "hide wants LO-HI in 1..255, got '" + value + "'");
+      if (lo > hi)
+        fail(source, line_number,
+             "hide range is inverted: " + std::to_string(lo) + "-" +
+                 std::to_string(hi) + " (want LO <= HI)");
+      spec.hide_ttl_lo = static_cast<int>(lo);
+      spec.hide_ttl_hi = static_cast<int>(hi);
+    } else if (fields[0] == "churn") {
+      // churn epoch=US fraction=F [gap=US]
+      bool have_epoch = false, have_fraction = false;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto eq = fields[i].find('=');
+        if (eq == std::string::npos)
+          fail(source, line_number,
+               "expected key=value, got '" + fields[i] + "'");
+        const std::string key = fields[i].substr(0, eq);
+        const std::string value = fields[i].substr(eq + 1);
+        if (key == "epoch") {
+          std::uint64_t epoch = 0;
+          // A signed parse would silently wrap a negative epoch; reject any
+          // non-positive value explicitly (regression: churn epoch <= 0).
+          if (!util::parse_u64(value, epoch) || epoch == 0)
+            fail(source, line_number,
+                 "churn epoch wants a virtual-time microsecond count > 0, "
+                 "got '" + value + "'");
+          spec.churn_epoch_us = epoch;
+          have_epoch = true;
+        } else if (key == "fraction") {
+          const double p = parse_probability(source, line_number, key, value);
+          if (p <= 0.0)
+            fail(source, line_number,
+                 "churn fraction wants a probability in (0,1], got '" + value +
+                     "'");
+          spec.churn_fraction = p;
+          have_fraction = true;
+        } else if (key == "gap") {
+          std::uint64_t gap = 0;
+          if (!util::parse_u64(value, gap) || gap == 0)
+            fail(source, line_number,
+                 "churn gap wants a per-target microsecond count > 0, got '" +
+                     value + "'");
+          spec.churn_target_gap_us = gap;
+        } else {
+          fail(source, line_number,
+               "unknown key '" + key + "' (known: epoch, fraction, gap)");
+        }
+      }
+      if (!have_epoch || !have_fraction)
+        fail(source, line_number,
+             "churn wants epoch=US and fraction=F (optional gap=US)");
     } else if (fields[0] == "default") {
       apply_fields(source, line_number, fields, 1, spec.default_policy);
     } else if (fields[0] == "node") {
@@ -143,7 +214,7 @@ FaultSpec parse_fault_spec(std::istream& in, const Topology& topology,
     } else {
       fail(source, line_number,
            "unknown directive '" + fields[0] +
-               "' (known: seed, reorder, default, node)");
+               "' (known: seed, reorder, hide, churn, default, node)");
     }
   }
   return spec;

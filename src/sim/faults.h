@@ -90,13 +90,56 @@ struct FaultSpec {
   // overlapped round trips complete out of order on a live network.
   int reorder_window = 0;
 
+  // MPLS-like hop hiding (`hide LO-HI`): routers at walk depth in [lo, hi]
+  // (1-based hop distance from the vantage) forward *without* decrementing
+  // TTL, like an MPLS tunnel with no-ttl-propagate. The hidden hops never
+  // appear in any trace, and every router past the tunnel answers at a TTL
+  // (hi - lo + 1) smaller than its true depth. A pure function of
+  // (topology, probe) — schedule-invariant by construction. 0/0 disables.
+  int hide_ttl_lo = 0;
+  int hide_ttl_hi = 0;
+
+  // Routing churn (`churn epoch=US fraction=F [gap=US]`): at nominal virtual
+  // time `churn_epoch_us` into the campaign, a deterministic `churn_fraction`
+  // of routers re-randomize their link-cost tie-breaks — resolved over the
+  // equal-cost next-hop set, so paths stay loop-free shortest paths but a
+  // churned router may pick a different member (§3.7 route fluctuations).
+  // The epoch a probe belongs to is *content*, not wall time: campaigns
+  // stamp net::Probe::epoch per target from the target's nominal schedule
+  // position (target i probes at i * churn_target_gap_us), so churn replays
+  // byte-identically across serial/windowed/parallel and wall/virtual runs.
+  std::uint64_t churn_epoch_us = 0;  // 0 disables
+  double churn_fraction = 0.0;
+  std::uint64_t churn_target_gap_us = 1000;
+
   // True when the spec can alter any reply.
   bool enabled() const noexcept {
     if (!default_policy.is_noop() || reorder_window > 1) return true;
+    if (hide_ttl_lo > 0 || churn_epoch_us > 0) return true;
     for (const auto& [node, policy] : node_overrides)
       if (!policy.is_noop()) return true;
     return false;
   }
+
+  // True when routers at walk depth `depth` skip their TTL decrement.
+  bool hides_depth(int depth) const noexcept {
+    return hide_ttl_lo > 0 && depth >= hide_ttl_lo && depth <= hide_ttl_hi;
+  }
+
+  // The routing epoch of the target at schedule position `target_index`:
+  // 0 before the churn point, 1 at or after it. Pure in the index, so every
+  // schedule agrees on each target's epoch.
+  std::uint8_t epoch_of(std::size_t target_index) const noexcept {
+    if (churn_epoch_us == 0) return 0;
+    return static_cast<std::uint64_t>(target_index) * churn_target_gap_us >=
+                   churn_epoch_us
+               ? 1
+               : 0;
+  }
+
+  // Whether `node` is in the churned set — a deterministic seed-keyed draw
+  // against churn_fraction (implemented in faults.cpp).
+  bool churned(NodeId node) const noexcept;
 
   // The policy governing *reply generation* at `node`: the override when one
   // exists, the default otherwise.
@@ -132,6 +175,8 @@ util::Rng fault_draw_stream(std::uint64_t seed, const net::Probe& probe) noexcep
 //   # comment
 //   seed 7
 //   reorder 4
+//   hide 3-4
+//   churn epoch=90000 fraction=0.5 gap=1000
 //   default loss=0.2 reply-loss=0.05 blackhole-ttl=5-8 rate=100/8
 //   node R3 anonymous=1
 //   node R5 loss=0.5 rate=10/2

@@ -224,10 +224,20 @@ std::optional<RoutingTable::NextHop> Network::pick_next_hop(
       config_.ecmp_hash == EcmpHashMode::kPerDestSubnet
           ? static_cast<std::uint64_t>(target_subnet)
           : static_cast<std::uint64_t>(probe.target.value());
-  const std::uint64_t h =
+  std::uint64_t h =
       mix((static_cast<std::uint64_t>(node_id) << 40) ^ (selector << 8) ^
           (static_cast<std::uint64_t>(probe.flow_id) << 2) ^
           static_cast<std::uint64_t>(probe.protocol));
+  // Routing churn (sim/faults.h): probes of a later epoch see re-randomized
+  // link-cost tie-breaks at churned routers — the salt re-mixes the pick
+  // over the same equal-cost set, so shortest paths (and loop freedom) are
+  // preserved while the chosen member may change. Keyed purely off probe
+  // content (epoch) and the spec seed: schedule-invariant.
+  if (faults_enabled_ && probe.epoch > 0 && faults_.churned(node_id)) {
+    h = mix(h ^ (faults_.seed + 0x9E3779B97F4A7C15ULL) ^
+            (static_cast<std::uint64_t>(probe.epoch) << 57));
+    fault_churned_picks_.fetch_add(1, std::memory_order_relaxed);
+  }
   return hops[h % hops.size()];
 }
 
@@ -368,6 +378,7 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe,
   if (!target_subnet) return count(net::ProbeReply::none());  // no route
 
   int ttl = probe.ttl;
+  int router_depth = 0;
   NodeId current = origin;
   InterfaceId incoming = kInvalidId;
 
@@ -401,11 +412,22 @@ net::ProbeReply Network::walk_probe(NodeId origin, const net::Probe& probe,
     if (node.is_host && current != origin)
       return count(net::ProbeReply::none());  // hosts do not forward
 
-    // Forwarding: routers decrement TTL; the originator does not.
+    // Forwarding: routers decrement TTL; the originator does not. Routers
+    // inside a hidden depth range (MPLS no-ttl-propagate, sim/faults.h)
+    // forward without decrementing: they can never expire a probe, so they
+    // never appear in a trace, and hops past the tunnel answer at shifted
+    // TTLs. Depth is the router's 1-based hop distance from the origin — a
+    // pure function of (topology, probe).
     if (current != origin) {
-      --ttl;
-      if (ttl <= 0)
-        return respond_indirect(current, probe, incoming, origin_subnet, slot);
+      ++router_depth;
+      if (faults_enabled_ && faults_.hides_depth(router_depth)) {
+        fault_hidden_hops_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        --ttl;
+        if (ttl <= 0)
+          return respond_indirect(current, probe, incoming, origin_subnet,
+                                  slot);
+      }
     }
 
     if (const auto local = topology_.interface_on(current, *target_subnet)) {

@@ -96,6 +96,10 @@ struct NetworkStats {
   std::uint64_t fault_reply_lost = 0;  // replies dropped on the way back
   std::uint64_t fault_anonymous = 0;   // TTL-Exceeded suppressed (anonymous)
   std::uint64_t fault_blackholed = 0;  // probes in a black-holed TTL range
+  // MPLS-like hop hiding / routing churn (spec-level mechanisms; these do
+  // not count as silent — the probe keeps forwarding).
+  std::uint64_t fault_hidden_hops = 0;    // TTL decrements elided (hide LO-HI)
+  std::uint64_t fault_churned_picks = 0;  // ECMP picks re-salted by churn
 
   std::uint64_t fault_drops() const noexcept {
     return fault_probe_lost + fault_reply_lost + fault_blackholed;
@@ -197,6 +201,9 @@ class Network {
     out.fault_reply_lost = fault_reply_lost_.load(std::memory_order_relaxed);
     out.fault_anonymous = fault_anonymous_.load(std::memory_order_relaxed);
     out.fault_blackholed = fault_blackholed_.load(std::memory_order_relaxed);
+    out.fault_hidden_hops = fault_hidden_hops_.load(std::memory_order_relaxed);
+    out.fault_churned_picks =
+        fault_churned_picks_.load(std::memory_order_relaxed);
     return out;
   }
   void reset_stats() noexcept {
@@ -211,6 +218,8 @@ class Network {
     fault_reply_lost_.store(0, std::memory_order_relaxed);
     fault_anonymous_.store(0, std::memory_order_relaxed);
     fault_blackholed_.store(0, std::memory_order_relaxed);
+    fault_hidden_hops_.store(0, std::memory_order_relaxed);
+    fault_churned_picks_.store(0, std::memory_order_relaxed);
   }
   std::uint64_t now_us() const noexcept {
     return now_us_.load(std::memory_order_relaxed);
@@ -275,6 +284,8 @@ class Network {
   std::atomic<std::uint64_t> fault_reply_lost_{0};
   std::atomic<std::uint64_t> fault_anonymous_{0};
   std::atomic<std::uint64_t> fault_blackholed_{0};
+  std::atomic<std::uint64_t> fault_hidden_hops_{0};
+  std::atomic<std::uint64_t> fault_churned_picks_{0};
 
   std::atomic<std::uint64_t> now_us_{0};
 

@@ -13,12 +13,16 @@
 //   * the fault metrics are live — a lossy campaign reports nonzero
 //     probe.drops / probe.retries / trace.anonymous_hops.
 #include <cstdint>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "eval/campaign.h"
 #include "eval/classification.h"
+#include "eval/scorecard.h"
 #include "eval/report.h"
 #include "probe/sim_engine.h"
 #include "runtime/campaign.h"
@@ -220,6 +224,113 @@ TEST(ChaosMetrics, ParallelLossyRuntimeMatchesSerialLossyRun) {
 
     EXPECT_EQ(eval::subnets_csv(serial), eval::subnets_csv(parallel))
         << ref.name;
+  }
+}
+
+TEST(ChaosAccuracy, ScorecardJsonInvariantAcrossJobsAndWindow) {
+  // The accuracy lab joins the chaos grid: the emitted ACCURACY JSON for a
+  // lossy sub-grid (20% loss, both references) must be byte-identical
+  // across --jobs {1, 4} x --window {1, 16}. The scorecard excludes every
+  // schedule-dependent quantity by construction; this pins that it stays
+  // that way end to end, classifier and audit included.
+  std::vector<eval::ScenarioCell> sub_grid;
+  for (const char* topology : {"internet2", "geant"}) {
+    eval::ScenarioCell cell;
+    cell.scenario = "loss20";
+    cell.topology = topology;
+    cell.fault_spec = "seed 11\ndefault loss=0.20\n";
+    cell.tolerance = 0.12;
+    sub_grid.push_back(std::move(cell));
+  }
+
+  std::string first;
+  for (const int jobs : {1, 4}) {
+    for (const int window : {1, 16}) {
+      eval::ScorecardRunConfig config;
+      config.jobs = jobs;
+      config.probe_window = window;
+      const std::string json = eval::run_grid(sub_grid, config).to_json();
+      if (first.empty()) first = json;
+      EXPECT_EQ(json, first) << "jobs=" << jobs << " window=" << window;
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(ChaosGrid, HiddenHopsAndChurnReplayByteIdenticallyToGoldenPins) {
+  // The two spec-level fault mechanisms — MPLS-like hop hiding and
+  // mid-campaign routing churn — must replay byte-identically across
+  // serial, windowed, parallel and virtual-time schedules, anchored by
+  // golden subnets_csv hashes so the mechanisms cannot silently rot into
+  // no-ops (each run must also report its mechanism's ledger counter).
+  struct Pinned {
+    const char* name;
+    const char* spec;
+    std::uint64_t csv_hash[2];  // [internet2, geant]
+  };
+  const Pinned kMechanisms[] = {
+      // Hiding hops 3-4 shifts every deeper hop two TTLs earlier, so the
+      // collected csv moves off the clean pins to its own goldens.
+      {"hide", "seed 29\nhide 3-4\n",
+       {0x58A4D9B6E0B27B81ULL, 0xCF62BB291D323BEFULL}},
+      // Churn re-rolls ECMP tie-breaks among equal-cost next hops. The
+      // pinned references route every target over a unique shortest path
+      // (no equal-cost sets), so churn must leave their csv exactly on the
+      // clean goldens — the re-roll firing on real ECMP sets is proven on
+      // the diamond in fault_policy_test.
+      {"churn", "seed 23\nchurn epoch=90000 fraction=0.5\n",
+       {0x25A7E62AEE858F8EULL, 0x27A66CA1EE6F77DEULL}},
+  };
+
+  for (const Pinned& mechanism : kMechanisms) {
+    for (const bool geant : {false, true}) {
+      const topo::ReferenceTopology ref = reference(geant);
+      std::istringstream spec_in(mechanism.spec);
+      const sim::FaultSpec spec =
+          sim::parse_fault_spec(spec_in, ref.topo, mechanism.name);
+
+      // Serial, wall clock, window 1 — the anchor run.
+      sim::Network serial_net(ref.topo);
+      serial_net.set_faults(spec);
+      const std::string serial = eval::subnets_csv(eval::run_campaign(
+          serial_net, ref.vantage, "utdallas", ref.targets, {}));
+      EXPECT_EQ(fnv1a64(serial), mechanism.csv_hash[geant ? 1 : 0])
+          << mechanism.name << " " << ref.name;
+      const sim::NetworkStats stats = serial_net.stats();
+      if (std::string_view(mechanism.name) == "hide") {
+        EXPECT_GT(stats.fault_hidden_hops, 0u) << ref.name;
+      } else {
+        // No equal-cost sets on the references: the salt never evaluates,
+        // and the clean-golden match above is exact, not coincidental.
+        EXPECT_EQ(stats.fault_churned_picks, 0u) << ref.name;
+      }
+
+      // Windowed serial.
+      sim::Network windowed_net(ref.topo);
+      windowed_net.set_faults(spec);
+      eval::CampaignConfig windowed_config;
+      windowed_config.session.probe_window = 16;
+      EXPECT_EQ(serial, eval::subnets_csv(
+                            eval::run_campaign(windowed_net, ref.vantage,
+                                               "utdallas", ref.targets,
+                                               windowed_config)))
+          << mechanism.name << " " << ref.name;
+
+      // Parallel, windowed, on the virtual clock at a live-like RTT.
+      sim::vtime::Scheduler scheduler;
+      sim::NetworkConfig net_config;
+      net_config.wall_rtt_us = 2000;
+      net_config.scheduler = &scheduler;
+      sim::Network parallel_net(ref.topo, net_config);
+      parallel_net.set_faults(spec);
+      runtime::RuntimeConfig runtime_config;
+      runtime_config.jobs = 4;
+      runtime_config.campaign.session.probe_window = 16;
+      EXPECT_EQ(serial, eval::subnets_csv(runtime::run_campaign_parallel(
+                            parallel_net, ref.vantage, "utdallas",
+                            ref.targets, runtime_config)))
+          << mechanism.name << " " << ref.name;
+    }
   }
 }
 

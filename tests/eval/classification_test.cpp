@@ -151,5 +151,49 @@ TEST(Classification, ExactRateArithmetic) {
   EXPECT_NEAR(result.exact_rate_excluding_unresponsive(), 1.0, 1e-9);
 }
 
+TEST(Classification, MatchClassStringsRoundTrip) {
+  std::set<std::string> names;
+  for (const MatchClass match : kAllMatchClasses) {
+    const std::string name = to_string(match);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto parsed = match_class_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, match) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllMatchClasses));
+
+  // Non-names never parse — including case variants and near-misses.
+  EXPECT_FALSE(match_class_from_string("").has_value());
+  EXPECT_FALSE(match_class_from_string("Exact").has_value());
+  EXPECT_FALSE(match_class_from_string("exact ").has_value());
+  EXPECT_FALSE(match_class_from_string("splitt").has_value());
+  EXPECT_FALSE(match_class_from_string("?").has_value());
+}
+
+TEST(Classification, OneVerdictPerTruthInMixedScenario) {
+  // One of each outcome in a single registry: the verdict list must line up
+  // one-to-one with the registry, in registry order.
+  topo::SubnetRegistry registry;
+  registry.add(make_truth("10.0.0.0/30", {"10.0.0.1"}));   // exact
+  registry.add(make_truth("10.0.1.0/30", {"10.0.1.1"}));   // missing
+  registry.add(make_truth("10.0.2.0/28", {"10.0.2.1"}));   // underestimated
+  registry.add(make_truth("10.0.3.0/28", {"10.0.3.1"}));   // split
+  const std::vector<core::ObservedSubnet> observed = {
+      make_observed("10.0.0.0/30", {"10.0.0.1", "10.0.0.2"}),
+      make_observed("10.0.2.0/30", {"10.0.2.1", "10.0.2.2"}),
+      make_observed("10.0.3.0/29", {"10.0.3.1", "10.0.3.2"}),
+      make_observed("10.0.3.8/29", {"10.0.3.9", "10.0.3.10"}),
+  };
+  SilentEngine audit;
+  const Classification result = classify(registry, observed, audit);
+  ASSERT_EQ(result.verdicts.size(), registry.all().size());
+  for (std::size_t i = 0; i < result.verdicts.size(); ++i)
+    EXPECT_EQ(result.verdicts[i].truth, &registry.all()[i]) << i;
+  EXPECT_EQ(result.verdicts[0].match, MatchClass::kExact);
+  EXPECT_EQ(result.verdicts[1].match, MatchClass::kMissing);
+  EXPECT_EQ(result.verdicts[2].match, MatchClass::kUnderestimated);
+  EXPECT_EQ(result.verdicts[3].match, MatchClass::kSplit);
+}
+
 }  // namespace
 }  // namespace tn::eval

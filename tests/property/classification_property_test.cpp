@@ -1,0 +1,224 @@
+// Property sweeps for eval::classify: random ground-truth registries with
+// randomly perturbed observations — exact copies, dropped subnets, single
+// under-pieces, exact two-piece splits and merged sibling pairs — must
+// always yield exactly one verdict per registered truth, split verdicts
+// whose pieces jointly cover the truth range, and merged verdicts backed by
+// a covering observation that strictly contains at least two truths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "eval/classification.h"
+#include "util/rng.h"
+
+namespace tn::eval {
+namespace {
+
+class ClassificationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Audit engine for purely structural sweeps: everything is dark, so every
+// missing/underestimated verdict lands in the unresponsive rows.
+class SilentEngine final : public probe::ProbeEngine {
+  net::ProbeReply do_probe(const net::Probe&) override {
+    return net::ProbeReply::none();
+  }
+};
+
+struct Generated {
+  topo::SubnetRegistry registry;
+  std::vector<core::ObservedSubnet> observed;
+};
+
+core::ObservedSubnet observe(net::Prefix prefix,
+                             std::initializer_list<net::Ipv4Addr> members) {
+  core::ObservedSubnet subnet;
+  subnet.prefix = prefix;
+  subnet.members.assign(members);
+  subnet.pivot = subnet.members.front();
+  return subnet;
+}
+
+topo::GroundTruthSubnet truth_at(net::Prefix prefix) {
+  topo::GroundTruthSubnet truth;
+  truth.prefix = prefix;
+  truth.assigned = {net::Ipv4Addr(prefix.network().value() + 1),
+                    net::Ipv4Addr(prefix.network().value() + 2)};
+  return truth;
+}
+
+// Each case gets its own /23 of 10/8, so covering observations of one case
+// can never leak into a neighbour's address range.
+Generated random_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Generated out;
+  const int cases = static_cast<int>(4 + rng.below(8));
+  for (int index = 0; index < cases; ++index) {
+    const net::Ipv4Addr base(0x0A000000u |
+                             (static_cast<std::uint32_t>(index) << 9));
+    const int mode = static_cast<int>(rng.below(5));
+    // Merged needs room for a sibling under a covering parent inside the
+    // /23; keep those truths at /25 or longer.
+    const int length = (mode == 4 ? 25 : 24) + static_cast<int>(rng.below(4));
+    const net::Prefix prefix = net::Prefix::covering(base, length);
+    const std::uint32_t half = 1u << (32 - length - 1);
+    out.registry.add(truth_at(prefix));
+
+    switch (mode) {
+      case 0:  // exact
+        out.observed.push_back(
+            observe(prefix, {net::Ipv4Addr(base.value() + 1),
+                             net::Ipv4Addr(base.value() + 2)}));
+        break;
+      case 1:  // missing: no observation at all
+        break;
+      case 2:  // underestimated: one strictly-smaller piece
+        out.observed.push_back(
+            observe(net::Prefix::covering(base, length + 1),
+                    {net::Ipv4Addr(base.value() + 1),
+                     net::Ipv4Addr(base.value() + 2)}));
+        break;
+      case 3: {  // split: both children, jointly covering the range
+        out.observed.push_back(
+            observe(net::Prefix::covering(base, length + 1),
+                    {net::Ipv4Addr(base.value() + 1),
+                     net::Ipv4Addr(base.value() + 2)}));
+        out.observed.push_back(
+            observe(net::Prefix::covering(net::Ipv4Addr(base.value() + half),
+                                          length + 1),
+                    {net::Ipv4Addr(base.value() + half + 1),
+                     net::Ipv4Addr(base.value() + half + 2)}));
+        break;
+      }
+      case 4: {  // merged: sibling truth + one observation covering both
+        const net::Ipv4Addr sibling(base.value() + (1u << (32 - length)));
+        out.registry.add(truth_at(net::Prefix::covering(sibling, length)));
+        out.observed.push_back(
+            observe(net::Prefix::covering(base, length - 1),
+                    {net::Ipv4Addr(base.value() + 1),
+                     net::Ipv4Addr(sibling.value() + 1)}));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(ClassificationProperty, ExactlyOneVerdictPerTruthSubnet) {
+  const Generated input = random_case(GetParam());
+  SilentEngine audit;
+  const Classification result =
+      classify(input.registry, input.observed, audit);
+
+  ASSERT_EQ(result.verdicts.size(), input.registry.all().size());
+  std::set<const topo::GroundTruthSubnet*> seen;
+  for (std::size_t i = 0; i < result.verdicts.size(); ++i) {
+    const SubnetVerdict& verdict = result.verdicts[i];
+    ASSERT_NE(verdict.truth, nullptr);
+    EXPECT_EQ(verdict.truth, &input.registry.all()[i]) << i;
+    EXPECT_TRUE(seen.insert(verdict.truth).second)
+        << "two verdicts for " << verdict.truth->prefix.to_string();
+  }
+
+  // The table rows partition the verdicts: every truth is counted once in
+  // `original` and once across the outcome rows.
+  EXPECT_EQ(result.total(result.original),
+            static_cast<int>(result.verdicts.size()));
+  const int outcomes =
+      result.total(result.exact) + result.total(result.miss_heuristic) +
+      result.total(result.miss_unresponsive) +
+      result.total(result.undes_heuristic) +
+      result.total(result.undes_unresponsive) +
+      result.total(result.overestimated) + result.total(result.split) +
+      result.total(result.merged);
+  EXPECT_EQ(outcomes, result.total(result.original));
+}
+
+TEST_P(ClassificationProperty, SplitPiecesJointlyCoverTheTruthRange) {
+  const Generated input = random_case(GetParam());
+  SilentEngine audit;
+  const Classification result =
+      classify(input.registry, input.observed, audit);
+
+  for (const SubnetVerdict& verdict : result.verdicts) {
+    if (verdict.match != MatchClass::kSplit) continue;
+    const net::Prefix& truth = verdict.truth->prefix;
+
+    // The verdict's pieces are the strictly-inside observations; disjoint
+    // by construction, so covering the range means their sizes sum to it.
+    ASSERT_GE(verdict.collected_prefix_lengths.size(), 2u);
+    std::uint64_t covered = 0;
+    for (const int length : verdict.collected_prefix_lengths) {
+      EXPECT_GT(length, truth.length());
+      covered += 1ULL << (32 - length);
+    }
+    EXPECT_EQ(covered, 1ULL << (32 - truth.length()))
+        << "split pieces do not cover " << truth.to_string();
+
+    // And each counted piece corresponds to a real observation inside the
+    // truth range.
+    std::size_t inside = 0;
+    for (const core::ObservedSubnet& subnet : input.observed)
+      if (subnet.prefix.length() < 32 && truth.contains(subnet.prefix) &&
+          subnet.prefix != truth)
+        ++inside;
+    EXPECT_EQ(inside, verdict.collected_prefix_lengths.size());
+  }
+}
+
+TEST_P(ClassificationProperty, MergedObservationStrictlyContainsTwoTruths) {
+  const Generated input = random_case(GetParam());
+  SilentEngine audit;
+  const Classification result =
+      classify(input.registry, input.observed, audit);
+
+  for (const SubnetVerdict& verdict : result.verdicts) {
+    if (verdict.match != MatchClass::kMerged) continue;
+    const net::Prefix& truth = verdict.truth->prefix;
+
+    // There must be an observation strictly containing this truth that also
+    // strictly contains at least one more registered truth.
+    bool witnessed = false;
+    for (const core::ObservedSubnet& subnet : input.observed) {
+      if (subnet.prefix.length() >= truth.length() ||
+          !subnet.prefix.contains(truth))
+        continue;
+      int contained = 0;
+      for (const topo::GroundTruthSubnet& other : input.registry.all())
+        if (subnet.prefix.contains(other.prefix) &&
+            subnet.prefix.length() < other.prefix.length())
+          ++contained;
+      if (contained >= 2) {
+        witnessed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(witnessed)
+        << "merged verdict for " << truth.to_string()
+        << " has no covering observation spanning a second truth";
+  }
+}
+
+TEST_P(ClassificationProperty, EveryGeneratedModeSurfacesSomewhere) {
+  // Sanity on the generator itself: across the verdicts of one case, only
+  // the five generated shapes appear, and repeated classification is
+  // deterministic.
+  const Generated input = random_case(GetParam());
+  SilentEngine audit;
+  const Classification once = classify(input.registry, input.observed, audit);
+  const Classification twice = classify(input.registry, input.observed, audit);
+  ASSERT_EQ(once.verdicts.size(), twice.verdicts.size());
+  for (std::size_t i = 0; i < once.verdicts.size(); ++i) {
+    EXPECT_EQ(once.verdicts[i].match, twice.verdicts[i].match);
+    EXPECT_EQ(once.verdicts[i].collected_prefix_lengths,
+              twice.verdicts[i].collected_prefix_lengths);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassificationProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace tn::eval

@@ -80,6 +80,18 @@ TEST(FaultSpecParse, RejectsMalformedInput) {
       "reorder 99999\n",            // window out of range
       "seed x\n",                   // non-numeric seed
       "gremlins everywhere\n",      // unknown directive
+      "hide 0-4\n",                 // depth 0 invalid
+      "hide 6-3\n",                 // inverted range
+      "hide 3\n",                   // missing HI
+      "hide 3-400\n",               // out of range
+      "churn epoch=0 fraction=0.5\n",    // epoch must be > 0
+      "churn epoch=-10 fraction=0.5\n",  // negative epoch
+      "churn fraction=0.5\n",            // missing epoch
+      "churn epoch=1000\n",              // missing fraction
+      "churn epoch=1000 fraction=0\n",   // fraction must be > 0
+      "churn epoch=1000 fraction=1.5\n", // fraction out of range
+      "churn epoch=1000 fraction=0.5 gap=0\n",  // gap must be > 0
+      "churn epoch=1000 fraction=0.5 burst=2\n",  // unknown key
   };
   for (const char* text : bad) {
     std::istringstream in(text);
@@ -146,8 +158,73 @@ TEST(FaultSpecParse, UnknownDirectiveNamesTheAlternatives) {
     EXPECT_TRUE(util::starts_with(what, "faults.txt:2: ")) << what;
     EXPECT_NE(what.find("unknown directive 'gremlins'"), std::string::npos)
         << what;
-    EXPECT_NE(what.find("seed, reorder, default, node"), std::string::npos)
+    EXPECT_NE(what.find("seed, reorder, hide, churn, default, node"),
+              std::string::npos)
         << what;
+  }
+}
+
+TEST(FaultSpecParse, HideAndChurnRoundTrip) {
+  test::Fig3Topology f;
+  std::istringstream in(
+      "seed 9\n"
+      "hide 3-4\n"
+      "churn epoch=90000 fraction=0.5 gap=500\n");
+  const FaultSpec spec = parse_fault_spec(in, f.topo);
+  EXPECT_EQ(spec.hide_ttl_lo, 3);
+  EXPECT_EQ(spec.hide_ttl_hi, 4);
+  EXPECT_TRUE(spec.hides_depth(3));
+  EXPECT_TRUE(spec.hides_depth(4));
+  EXPECT_FALSE(spec.hides_depth(2));
+  EXPECT_FALSE(spec.hides_depth(5));
+  EXPECT_EQ(spec.churn_epoch_us, 90000u);
+  EXPECT_DOUBLE_EQ(spec.churn_fraction, 0.5);
+  EXPECT_EQ(spec.churn_target_gap_us, 500u);
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(FaultSpecParse, InvertedHideRangeNamesTheBounds) {
+  test::Fig3Topology f;
+  std::istringstream in("seed 1\nhide 6-3\n");
+  try {
+    parse_fault_spec(in, f.topo, "faults.txt");
+    FAIL() << "accepted an inverted hide range";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_TRUE(util::starts_with(what, "faults.txt:2: ")) << what;
+    EXPECT_NE(what.find("inverted"), std::string::npos) << what;
+    EXPECT_NE(what.find("6-3"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultSpecParse, NonPositiveChurnEpochIsRejectedWithHint) {
+  test::Fig3Topology f;
+  for (const char* epoch : {"0", "-1", "-90000"}) {
+    std::istringstream in(std::string("seed 1\n\nchurn epoch=") + epoch +
+                          " fraction=0.5\n");
+    try {
+      parse_fault_spec(in, f.topo, "faults.txt");
+      FAIL() << "accepted churn epoch=" << epoch;
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_TRUE(util::starts_with(what, "faults.txt:3: ")) << what;
+      EXPECT_NE(what.find("churn epoch"), std::string::npos) << what;
+      EXPECT_NE(what.find("> 0"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(FaultSpecParse, UnknownChurnKeyNamesTheAlternatives) {
+  test::Fig3Topology f;
+  std::istringstream in("churn epoch=1000 fraction=0.5 windo=3\n");
+  try {
+    parse_fault_spec(in, f.topo, "faults.txt");
+    FAIL() << "accepted an unknown churn key";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_TRUE(util::starts_with(what, "faults.txt:1: ")) << what;
+    EXPECT_NE(what.find("unknown key 'windo'"), std::string::npos) << what;
+    EXPECT_NE(what.find("epoch, fraction, gap"), std::string::npos) << what;
   }
 }
 
@@ -439,6 +516,120 @@ TEST(FaultInjection, DefaultRateInstallsOnRoutersOnly) {
       ++answered;
   EXPECT_EQ(answered, 2);
   EXPECT_GT(net.stats().rate_limited, 0u);
+}
+
+TEST(FaultInjection, HiddenDepthRangeShiftsDeeperHopsEarlier) {
+  // Fig3 path from V toward S: G at depth 1, R1 at depth 2, R2 at depth 3.
+  // Hiding depth 2 makes R1 an MPLS-style tunnel hop: it forwards without
+  // decrementing, so TTL k >= 2 now expires one router deeper.
+  test::Fig3Topology f;
+  Network clean(f.topo);
+  Network hidden(f.topo);
+  FaultSpec spec;
+  spec.seed = 1;
+  spec.hide_ttl_lo = 2;
+  spec.hide_ttl_hi = 2;
+  hidden.set_faults(spec);
+
+  // Depth 1 is below the tunnel: identical replies.
+  EXPECT_EQ(clean.send_probe(f.vantage, indirect_probe(f.pivot3, 1)).to_string(),
+            hidden.send_probe(f.vantage, indirect_probe(f.pivot3, 1)).to_string());
+  // Past the tunnel every TTL answers as the clean network's TTL+1 would.
+  for (int ttl = 2; ttl <= 4; ++ttl) {
+    EXPECT_EQ(
+        clean.send_probe(f.vantage, indirect_probe(f.pivot3, ttl + 1)).to_string(),
+        hidden.send_probe(f.vantage, indirect_probe(f.pivot3, ttl)).to_string())
+        << "ttl " << ttl;
+  }
+  // The hidden router's addresses never appear in any reply.
+  for (int ttl = 1; ttl <= 8; ++ttl) {
+    const net::ProbeReply reply =
+        hidden.send_probe(f.vantage, indirect_probe(f.pivot3, ttl));
+    if (reply.is_none()) continue;
+    for (const sim::InterfaceId iface : f.topo.node(f.r1).interfaces)
+      EXPECT_NE(reply.responder, f.topo.interface(iface).addr) << "ttl " << ttl;
+  }
+  // Direct probes traverse the tunnel unharmed.
+  EXPECT_FALSE(hidden.send_probe(f.vantage, direct_probe(f.pivot3)).is_none());
+  EXPECT_GT(hidden.stats().fault_hidden_hops, 0u);
+}
+
+TEST(FaultInjection, ChurnEpochIsAPureFunctionOfSchedulePosition) {
+  FaultSpec spec;
+  spec.churn_epoch_us = 5000;
+  spec.churn_target_gap_us = 1000;
+  spec.churn_fraction = 0.5;
+  for (std::size_t index = 0; index < 5; ++index)
+    EXPECT_EQ(spec.epoch_of(index), 0) << index;
+  for (std::size_t index = 5; index < 10; ++index)
+    EXPECT_EQ(spec.epoch_of(index), 1) << index;
+  // Disabled churn never advances the epoch.
+  EXPECT_EQ(FaultSpec{}.epoch_of(1000000), 0);
+  // The churned set is a deterministic seed-keyed draw.
+  FaultSpec all = spec;
+  all.churn_fraction = 1.0;
+  EXPECT_TRUE(all.churned(0));
+  FaultSpec none = spec;
+  none.churn_fraction = 0.0;
+  EXPECT_FALSE(none.churned(0));
+  for (NodeId node = 0; node < 32; ++node)
+    EXPECT_EQ(spec.churned(node), spec.churned(node)) << node;
+}
+
+TEST(FaultInjection, ChurnRerollsEcmpTieBreaksOnlyInLaterEpochs) {
+  // A diamond: V - G - {A, B} - multi-access S. G holds two equal-cost next
+  // hops toward S, so churn can flip its per-flow tie-break in epoch 1.
+  sim::Topology topo;
+  const NodeId v = topo.add_host("V");
+  const NodeId g = topo.add_router("G");
+  const NodeId a = topo.add_router("A");
+  const NodeId b = topo.add_router("B");
+  const NodeId h = topo.add_host("H");
+  const auto lan_v = topo.add_subnet(test::pfx("10.0.0.0/30"));
+  topo.attach(v, lan_v, test::ip("10.0.0.1"));
+  topo.attach(g, lan_v, test::ip("10.0.0.2"));
+  const auto ga = topo.add_subnet(test::pfx("10.0.1.0/31"));
+  topo.attach(g, ga, test::ip("10.0.1.0"));
+  topo.attach(a, ga, test::ip("10.0.1.1"));
+  const auto gb = topo.add_subnet(test::pfx("10.0.2.0/31"));
+  topo.attach(g, gb, test::ip("10.0.2.0"));
+  topo.attach(b, gb, test::ip("10.0.2.1"));
+  const auto s = topo.add_subnet(test::pfx("192.168.1.0/29"));
+  topo.attach(a, s, test::ip("192.168.1.1"));
+  topo.attach(b, s, test::ip("192.168.1.2"));
+  topo.attach(h, s, test::ip("192.168.1.3"));
+
+  Network net(topo);
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.churn_epoch_us = 1000;
+  spec.churn_fraction = 1.0;
+  net.set_faults(spec);
+
+  const net::Ipv4Addr target = test::ip("192.168.1.3");
+  bool any_flip = false;
+  for (std::uint16_t flow = 0; flow < 16; ++flow) {
+    // TTL 2 expires at A or B — whichever G's tie-break picked.
+    net::Probe before = indirect_probe(target, 2, flow);
+    net::Probe after = before;
+    after.epoch = 1;
+    const net::ProbeReply reply0 = net.send_probe(v, before);
+    const net::ProbeReply reply1 = net.send_probe(v, after);
+    ASSERT_FALSE(reply0.is_none());
+    ASSERT_FALSE(reply1.is_none());
+    if (reply0.responder != reply1.responder) any_flip = true;
+    // Same epoch, same probe -> same pick: replies stay pure functions of
+    // probe content.
+    EXPECT_EQ(net.send_probe(v, before).to_string(), reply0.to_string());
+    EXPECT_EQ(net.send_probe(v, after).to_string(), reply1.to_string());
+    // Both epochs still deliver: churn re-picks among equal-cost next hops
+    // only, so the destination stays reachable.
+    net::Probe deliver = direct_probe(target, flow);
+    deliver.epoch = 1;
+    EXPECT_FALSE(net.send_probe(v, deliver).is_none());
+  }
+  EXPECT_TRUE(any_flip) << "churn never flipped a tie-break across 16 flows";
+  EXPECT_GT(net.stats().fault_churned_picks, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// accuracy_diff: regression gate over two accuracy scorecards.
+//
+//   accuracy_diff OLD.json NEW.json
+//
+// Compares NEW (a freshly regenerated ACCURACY_scorecard.json) against OLD
+// (the committed baseline) cell by cell and exits nonzero on any regression:
+//
+//   - a cell present in OLD but missing from NEW (grid shrank),
+//   - a zero-tolerance cell whose verdict histogram changed at all,
+//   - any cell whose rate fields drifted beyond OLD's tolerance band
+//     (symmetric: unexplained *improvements* also fail — they mean the
+//     scenario stopped exercising what it used to),
+//   - truth_subnets changing anywhere (the reference build moved).
+//
+// New cells appearing only in NEW are reported but never fatal, so growing
+// the grid does not require a two-step dance. Tolerance policy and the
+// pin-update procedure: docs/ACCURACY.md.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/scorecard.h"
+
+namespace {
+
+using namespace tn;
+
+std::string slurp(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot read ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct RateField {
+  const char* name;
+  double eval::CellResult::* member;
+};
+
+constexpr RateField kRateFields[] = {
+    {"exact_rate", &eval::CellResult::exact_rate},
+    {"exact_rate_responsive", &eval::CellResult::exact_rate_responsive},
+    {"miss_under_rate", &eval::CellResult::miss_under_rate},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: accuracy_diff OLD.json NEW.json\n");
+    return 2;
+  }
+
+  eval::Scorecard before, after;
+  try {
+    before = eval::Scorecard::from_json(slurp(argv[1]));
+    after = eval::Scorecard::from_json(slurp(argv[2]));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "accuracy_diff: %s\n", error.what());
+    return 2;
+  }
+
+  int regressions = 0;
+  const auto complain = [&](const eval::CellResult& cell, const char* format,
+                            auto... args) {
+    std::fprintf(stderr, "REGRESSION %s/%s: ", cell.cell.scenario.c_str(),
+                 cell.cell.topology.c_str());
+    std::fprintf(stderr, format, args...);
+    std::fprintf(stderr, "\n");
+    ++regressions;
+  };
+
+  for (const eval::CellResult& old_cell : before.cells) {
+    const eval::CellResult* new_cell =
+        after.find(old_cell.cell.scenario, old_cell.cell.topology);
+    if (new_cell == nullptr) {
+      complain(old_cell, "cell missing from %s", argv[2]);
+      continue;
+    }
+    if (new_cell->truth_subnets != old_cell.truth_subnets) {
+      complain(old_cell, "truth_subnets %d -> %d (reference build moved)",
+               old_cell.truth_subnets, new_cell->truth_subnets);
+      continue;
+    }
+
+    const double tolerance = old_cell.cell.tolerance;
+    if (tolerance == 0.0) {
+      for (const eval::MatchClass match : eval::kAllMatchClasses)
+        if (new_cell->count(match) != old_cell.count(match))
+          complain(old_cell, "pinned cell moved: %s %d -> %d",
+                   to_string(match).c_str(), old_cell.count(match),
+                   new_cell->count(match));
+      if (new_cell->miss_unresponsive != old_cell.miss_unresponsive ||
+          new_cell->undes_unresponsive != old_cell.undes_unresponsive)
+        complain(old_cell, "pinned cell moved: unresponsive split %d/%d -> %d/%d",
+                 old_cell.miss_unresponsive, old_cell.undes_unresponsive,
+                 new_cell->miss_unresponsive, new_cell->undes_unresponsive);
+      continue;
+    }
+
+    for (const RateField& field : kRateFields) {
+      const double drift =
+          std::abs(new_cell->*field.member - old_cell.*field.member);
+      // Half a formatting quantum of slack: rates are serialized at 4
+      // decimals, so equality at the band edge must not depend on rounding.
+      if (drift > tolerance + 0.00005)
+        complain(old_cell, "%s drifted %.4f -> %.4f (|d|=%.4f > tolerance %.4f)",
+                 field.name, old_cell.*field.member, new_cell->*field.member,
+                 drift, tolerance);
+    }
+  }
+
+  int added = 0;
+  for (const eval::CellResult& new_cell : after.cells)
+    if (before.find(new_cell.cell.scenario, new_cell.cell.topology) == nullptr) {
+      std::printf("new cell %s/%s (not in %s) — informational\n",
+                  new_cell.cell.scenario.c_str(),
+                  new_cell.cell.topology.c_str(), argv[1]);
+      ++added;
+    }
+
+  if (regressions > 0) {
+    std::fprintf(stderr, "accuracy_diff: %d regression(s)\n", regressions);
+    return 1;
+  }
+  std::printf("accuracy_diff: OK (%zu cells compared, %d added)\n",
+              before.cells.size(), added);
+  return 0;
+}

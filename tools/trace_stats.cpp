@@ -8,10 +8,15 @@
 //
 //   trace_stats JOURNAL            per-target timelines + aggregate summary
 //   trace_stats --summary JOURNAL  aggregate summary only
+//   trace_stats --verdicts JOURNAL per-heuristic verdict-count table (how
+//                                  often each of H2-H8 added, skipped or
+//                                  shrank a growth level) plus the subnet
+//                                  stop-reason x fired-heuristic breakdown
 //   trace_stats --target T JOURNAL limit timelines to target T
 //   trace_stats --virtual JOURNAL  prefix a [vt N] column with the simulated
 //                                  microsecond each event was recorded at
 //                                  (journals written with --trace-vtime)
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +27,7 @@
 
 #include "trace/reader.h"
 #include "util/args.h"
+#include "util/table.h"
 
 using namespace tn;
 
@@ -30,8 +36,8 @@ namespace {
 int usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: trace_stats [--summary] [--target T] [--virtual] "
-               "JOURNAL\n"
+               "usage: trace_stats [--summary] [--verdicts] [--target T] "
+               "[--virtual] JOURNAL\n"
                "       (JOURNAL is a tracenet_cli --trace-out file; - reads "
                "stdin)\n");
   return 2;
@@ -138,10 +144,59 @@ bool prints(const trace::JournalEvent& e) {
   return false;
 }
 
+// --verdicts: the heuristic scoreboard. Every "heur" event carries the
+// growth level, the verdict (add/skip/shrink) and, when a heuristic made
+// the call, its code (H2..H8); every "subnet" event carries the stop reason
+// and the heuristic that fired last. The two tables say which heuristics
+// actually carry the inference on this journal — the per-journal view of
+// what bench_ablation_heuristics measures over whole campaigns.
+int print_verdicts(const std::vector<trace::JournalEvent>& events) {
+  std::map<std::string, std::array<std::size_t, 3>> by_heuristic;
+  std::size_t heur_events = 0;
+  std::map<std::string, std::map<std::string, std::size_t>> stop_by_fired;
+  std::size_t subnets = 0;
+  for (const trace::JournalEvent& e : events) {
+    if (e.type == "heur") {
+      ++heur_events;
+      const std::string verdict = field(e, "verdict");
+      const int index = verdict == "add"      ? 0
+                        : verdict == "skip"   ? 1
+                        : verdict == "shrink" ? 2
+                                              : -1;
+      if (index >= 0) ++by_heuristic[e.str("fired").value_or("none")][index];
+    } else if (e.type == "subnet") {
+      ++subnets;
+      ++stop_by_fired[field(e, "fired")][field(e, "stop")];
+    }
+  }
+  if (heur_events == 0 && subnets == 0) {
+    std::fprintf(stderr,
+                 "no heuristic or subnet events in this journal (was it "
+                 "recorded with tracing on?)\n");
+    return 1;
+  }
+
+  util::Table verdicts({"heuristic", "add", "skip", "shrink", "total"});
+  for (const auto& [code, counts] : by_heuristic)
+    verdicts.add_row({code, std::to_string(counts[0]),
+                      std::to_string(counts[1]), std::to_string(counts[2]),
+                      std::to_string(counts[0] + counts[1] + counts[2])});
+  std::printf("heuristic verdicts (%zu evaluations)\n%s\n", heur_events,
+              verdicts.render().c_str());
+
+  util::Table stops({"fired", "stop", "subnets"});
+  for (const auto& [fired, reasons] : stop_by_fired)
+    for (const auto& [stop, count] : reasons)
+      stops.add_row({fired, stop, std::to_string(count)});
+  std::printf("subnet outcomes (%zu subnets)\n%s", subnets,
+              stops.render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Args args({"summary", "virtual"}, {"target"});
+  util::Args args({"summary", "verdicts", "virtual"}, {"target"});
   if (!args.parse(argc, argv)) return usage(args.error().c_str());
   if (args.positional().size() != 1) return usage("want exactly one JOURNAL");
   const std::string path = args.positional().front();
@@ -160,6 +215,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
     return 1;
   }
+
+  if (args.flag("verdicts")) return print_verdicts(events);
 
   const bool summary_only = args.flag("summary");
   const bool show_vtime = args.flag("virtual");
