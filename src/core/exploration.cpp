@@ -4,6 +4,7 @@
 #include <bit>
 #include <set>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -71,7 +72,7 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
     const net::Prefix level = net::Prefix::covering(ctx.pivot, m);
     bool shrunk = false;
 
-    if (window > 1) {
+    if (window > 1 || config_.adaptive != nullptr) {
       // Prescan the whole level with overlapped waves; the serial walk below
       // then consumes the replies in address order out of the probe cache.
       std::vector<net::Ipv4Addr> candidates;
@@ -81,7 +82,10 @@ ObservedSubnet SubnetExplorer::explore(const Position& position) {
         if (!examined.contains(candidate.value()))
           candidates.push_back(candidate);
       }
-      prescan(candidates, ctx);
+      if (config_.adaptive != nullptr)
+        adaptive_prescan(candidates, ctx);
+      else
+        prescan(candidates, ctx);
     }
 
     for (std::uint64_t index = 0; index < level.size(); ++index) {
@@ -289,13 +293,8 @@ void SubnetExplorer::prescan(const std::vector<net::Ipv4Addr>& candidates,
   wave.reserve(candidates.size() * 3);
   auto queue = [&](net::Ipv4Addr target, int ttl) {
     if (ttl < 1) return;
-    net::Probe probe;
-    probe.target = target;
-    probe.ttl = static_cast<std::uint8_t>(ttl);
-    probe.protocol = config_.protocol;
-    probe.flow_id = config_.flow_id;
-    probe.epoch = config_.epoch;
-    wave.push_back(probe);
+    if (prescanned_.insert(prescan_key(target, ttl)).second) ++spec_spent_;
+    wave.push_back(make_probe(target, ttl));
   };
   for (const net::Ipv4Addr l : candidates) {
     queue(l, ctx.jh);
@@ -309,6 +308,98 @@ void SubnetExplorer::prescan(const std::vector<net::Ipv4Addr>& candidates,
     const std::size_t count = std::min(window, wave.size() - begin);
     engine_.probe_batch(std::span<const net::Probe>(wave).subspan(begin, count));
   }
+}
+
+std::vector<net::ProbeReply> SubnetExplorer::send_adaptive_wave(
+    const std::vector<net::Probe>& wave) {
+  probe::AdaptiveController& ctrl = *config_.adaptive;
+  std::vector<net::ProbeReply> replies;
+  replies.reserve(wave.size());
+  std::size_t begin = 0;
+  while (begin < wave.size()) {
+    const std::size_t count = std::min(
+        static_cast<std::size_t>(ctrl.window()), wave.size() - begin);
+    const auto chunk = std::span<const net::Probe>(wave).subspan(begin, count);
+    ctrl.pace();
+    const std::uint64_t mark = ctrl.begin_wave();
+    const std::vector<net::ProbeReply> fresh = engine_.probe_batch(chunk);
+    ctrl.end_wave(mark, chunk, fresh);
+    replies.insert(replies.end(), fresh.begin(), fresh.end());
+    begin += count;
+  }
+  return replies;
+}
+
+void SubnetExplorer::adaptive_prescan(
+    const std::vector<net::Ipv4Addr>& candidates, const Context& ctx) {
+  probe::AdaptiveController& ctrl = *config_.adaptive;
+  const std::uint32_t budget = ctrl.policy().level_budget;
+  std::uint32_t submitted = 0;
+
+  // Budget + dedup gate: false once the level's speculative budget is spent.
+  // A key still outstanding from an earlier prescan is admitted for free —
+  // its reply already sits in the session cache.
+  const auto admit = [&](std::vector<net::Probe>& wave, net::Ipv4Addr target,
+                         int ttl) {
+    if (ttl < 1) return true;
+    if (budget != 0 && submitted >= budget) return false;
+    if (!prescanned_.insert(prescan_key(target, ttl)).second) return true;
+    ++submitted;
+    ++spec_spent_;
+    wave.push_back(make_probe(target, ttl));
+    return true;
+  };
+
+  // Phase A: one liveness probe <l, jh> per candidate. Each doubles as the
+  // walk's H2 probe for l and as H7's <mate31(l), jh> for l's mate, since a
+  // candidate's /31 mate is itself a candidate of the level.
+  std::vector<net::Probe> phase_a;
+  std::vector<std::size_t> owner;  // phase_a[j] probes candidates[owner[j]]
+  phase_a.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::size_t before = phase_a.size();
+    if (!admit(phase_a, candidates[i], ctx.jh)) break;
+    if (phase_a.size() > before) owner.push_back(i);
+  }
+  const std::vector<net::ProbeReply> replies = send_adaptive_wave(phase_a);
+
+  std::vector<const net::ProbeReply*> at_jh(candidates.size(), nullptr);
+  std::unordered_map<std::uint32_t, const net::ProbeReply*> reply_of;
+  reply_of.reserve(owner.size());
+  for (std::size_t j = 0; j < owner.size(); ++j) {
+    at_jh[owner[j]] = &replies[j];
+    reply_of.emplace(candidates[owner[j]].value(), &replies[j]);
+  }
+
+  // Phase B: the rest of the heuristic chain's probes, but only for
+  // candidates phase A proved alive — exactly the ones the walk probes past
+  // jh (test_candidate skips dead candidates after H2). This is where the
+  // adaptive policy beats a fixed window: a mostly-empty level costs one
+  // probe per candidate instead of three.
+  std::vector<net::Probe> phase_b;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (at_jh[i] == nullptr || !alive(*at_jh[i])) continue;
+    const net::Ipv4Addr l = candidates[i];
+    const net::Ipv4Addr mate = l.mate31();
+    if (!admit(phase_b, l, ctx.jh - 1) || !admit(phase_b, l, ctx.jh - 2) ||
+        !admit(phase_b, mate, ctx.jh - 1))
+      break;
+    if (config_.mate30_fallback) {
+      // H7/H8 only fall back to the /30 mate when the /31 mate looked
+      // unusable; warm those probes just for that case.
+      const auto it = reply_of.find(mate.value());
+      const net::ProbeReply* mate_reply =
+          it != reply_of.end() ? it->second : nullptr;
+      if (mate_reply != nullptr &&
+          (mate_reply->is_none() ||
+           mate_reply->type == net::ResponseType::kHostUnreachable)) {
+        if (!admit(phase_b, l.mate30(), ctx.jh) ||
+            !admit(phase_b, l.mate30(), ctx.jh - 1))
+          break;
+      }
+    }
+  }
+  send_adaptive_wave(phase_b);  // replies warm the session cache
 }
 
 bool SubnetExplorer::far_fringe_check(net::Ipv4Addr l, const Context& ctx) {

@@ -15,8 +15,12 @@
 // engine layered underneath.
 #pragma once
 
+#include <unordered_set>
+#include <vector>
+
 #include "core/positioning.h"
 #include "core/types.h"
+#include "probe/adaptive.h"
 #include "probe/engine.h"
 #include "trace/journal.h"
 
@@ -49,6 +53,13 @@ struct ExplorerConfig {
   // the prescan probes are simply re-issued. 1 (the default) is the strictly
   // sequential historical behavior.
   int probe_window = 1;
+  // Adaptive probing controller (probe/adaptive.h), owned by the session;
+  // nullptr = fixed-window behavior. When set, growth levels use the
+  // two-phase feedback prescan (adaptive_prescan) under the controller's
+  // window/pacing decisions and per-level speculative budget, instead of the
+  // fixed 3-probes-per-candidate prescan. The serial walk is untouched, so
+  // the collected subnets stay byte-identical to every other policy.
+  probe::AdaptiveController* adaptive = nullptr;
   // Wire-probe ceiling for one exploration (0 = unlimited). On a lossy or
   // rate-limited network retries can multiply the probe cost of a level;
   // when the ceiling is hit, growth stops gracefully — whatever was
@@ -69,6 +80,13 @@ class SubnetExplorer {
 
   // Grows and returns the observed subnet around `position`'s pivot.
   ObservedSubnet explore(const Position& position);
+
+  // Speculation ledger across this explorer's lifetime (one session run):
+  // prescan probes submitted ahead of demand, and how many of them the
+  // serial walk later asked for (probe.speculative_{spent,saved} in the
+  // campaign metrics; spent - saved is the speculative waste).
+  std::uint64_t speculative_spent() const noexcept { return spec_spent_; }
+  std::uint64_t speculative_saved() const noexcept { return spec_saved_; }
 
  private:
   enum class Verdict { kAdd, kSkip, kShrink };
@@ -96,8 +114,40 @@ class SubnetExplorer {
   void prescan(const std::vector<net::Ipv4Addr>& candidates,
                const Context& ctx);
 
+  // Feedback prescan of one growth level (ExplorerConfig::adaptive): phase A
+  // probes every candidate at jh only; phase B sends the follow-up probes
+  // only for candidates phase A proved alive — the ones the serial walk's
+  // heuristic chain will actually interrogate. Waves are sized and paced by
+  // the controller, and total submissions are capped by its per-level
+  // budget; anything not prescanned is simply paid serially by the walk.
+  void adaptive_prescan(const std::vector<net::Ipv4Addr>& candidates,
+                        const Context& ctx);
+
+  // Sends `wave` in controller-sized, controller-paced chunks and returns
+  // the replies in wave order.
+  std::vector<net::ProbeReply> send_adaptive_wave(
+      const std::vector<net::Probe>& wave);
+
+  net::Probe make_probe(net::Ipv4Addr target, int ttl) const noexcept {
+    net::Probe probe;
+    probe.target = target;
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    probe.protocol = config_.protocol;
+    probe.flow_id = config_.flow_id;
+    probe.epoch = config_.epoch;
+    return probe;
+  }
+
+  // Ledger key for one (target, ttl) speculation; ttl is 1..255 here.
+  static std::uint64_t prescan_key(net::Ipv4Addr target, int ttl) noexcept {
+    return (static_cast<std::uint64_t>(target.value()) << 8) |
+           static_cast<std::uint64_t>(static_cast<std::uint8_t>(ttl));
+  }
+
   net::ProbeReply probe_at(net::Ipv4Addr target, int ttl) {
     if (ttl < 1) return net::ProbeReply::none();
+    if (!prescanned_.empty() && prescanned_.erase(prescan_key(target, ttl)) > 0)
+      ++spec_saved_;
     return engine_.indirect(target, static_cast<std::uint8_t>(ttl),
                             config_.protocol, config_.flow_id, config_.epoch);
   }
@@ -107,6 +157,12 @@ class SubnetExplorer {
 
   probe::ProbeEngine& engine_;
   ExplorerConfig config_;
+
+  // Outstanding speculations: keys prescanned but not yet consumed by the
+  // walk. Inserts meter spec_spent_, erases in probe_at meter spec_saved_.
+  std::unordered_set<std::uint64_t> prescanned_;
+  std::uint64_t spec_spent_ = 0;
+  std::uint64_t spec_saved_ = 0;
 };
 
 }  // namespace tn::core

@@ -21,10 +21,18 @@ TracenetSession::TracenetSession(probe::ProbeEngine& wire_engine,
   config_.trace.probe_window = config_.probe_window;
   config_.explore.probe_window = config_.probe_window;
 
+  if (config_.adaptive.enabled) {
+    controller_ = std::make_unique<probe::AdaptiveController>(
+        config_.adaptive, &wire_engine_, config_.clock);
+    config_.trace.adaptive = controller_.get();
+    config_.explore.adaptive = controller_.get();
+  }
+
   probe::RetryConfig retry_config;
   retry_config.attempts = config_.retry_attempts;
   retry_config.backoff_base_us = config_.retry_backoff_us;
   retry_config.per_target_budget = config_.retry_budget_per_target;
+  retry_config.clock = config_.clock;
   retry_ = std::make_unique<probe::RetryingProbeEngine>(wire_engine_,
                                                         retry_config);
   top_ = retry_.get();
@@ -60,10 +68,21 @@ void TracenetSession::prescan_positioning(const TracePath& path) {
     queue(v, hop.ttl - 1);
     queue(v.mate31(), hop.ttl);
   }
-  const std::size_t window = static_cast<std::size_t>(config_.probe_window);
-  for (std::size_t begin = 0; begin < wave.size(); begin += window) {
+  std::size_t begin = 0;
+  while (begin < wave.size()) {
+    const std::size_t window = static_cast<std::size_t>(
+        controller_ ? controller_->window() : config_.probe_window);
     const std::size_t count = std::min(window, wave.size() - begin);
-    top_->probe_batch(std::span<const net::Probe>(wave).subspan(begin, count));
+    const auto chunk = std::span<const net::Probe>(wave).subspan(begin, count);
+    if (controller_) {
+      controller_->pace();
+      const std::uint64_t mark = controller_->begin_wave();
+      const std::vector<net::ProbeReply> replies = top_->probe_batch(chunk);
+      controller_->end_wave(mark, chunk, replies);
+    } else {
+      top_->probe_batch(chunk);
+    }
+    begin += count;
   }
 }
 
@@ -72,6 +91,10 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
   // The probe cache must not leak replies across sessions: hop distances and
   // responsiveness are only stable on the timescale of one trace.
   if (cache_) cache_->clear();
+  // Neither must adaptive decision state: a window or backoff carried over
+  // from an earlier target would depend on which targets this worker
+  // happened to claim, breaking schedule invariance.
+  if (controller_) controller_->reset();
 
   SessionResult result;
 
@@ -85,7 +108,7 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
 
   Traceroute tracer(*top_, config_.trace);
   result.path = tracer.run(destination);
-  if (config_.probe_window > 1) prescan_positioning(result.path);
+  if (config_.probe_window > 1 || controller_) prescan_positioning(result.path);
 
   SubnetPositioner positioner(*top_, config_.positioning);
   SubnetExplorer explorer(*top_, config_.explore);
@@ -140,6 +163,12 @@ SessionResult TracenetSession::run(net::Ipv4Addr destination) {
   }
 
   result.wire_probes = wire_engine_.probes_issued() - wire_before;
+  result.speculative_spent = explorer.speculative_spent();
+  result.speculative_saved = explorer.speculative_saved();
+  if (controller_) {
+    result.pace_adjustments = controller_->pace_adjustments();
+    result.window_resizes = controller_->window_resizes();
+  }
   if (rec != nullptr) {
     // wire_probes stays out of the journal: it varies with probe_window
     // (speculative prescan waves), and the session journal is pinned

@@ -17,9 +17,11 @@
 #include "core/positioning.h"
 #include "core/traceroute.h"
 #include "core/types.h"
+#include "probe/adaptive.h"
 #include "probe/cache.h"
 #include "probe/engine.h"
 #include "probe/retry.h"
+#include "util/clock.h"
 
 namespace tn::core {
 
@@ -54,6 +56,17 @@ struct SessionConfig {
   // output stays byte-identical on stable networks (docs/PROBING.md).
   // 1 = strictly sequential probing (the historical behavior).
   int probe_window = 1;
+  // Adaptive probing policy (probe/adaptive.h, docs/PROBING.md "Adaptive
+  // policy"): when adaptive.enabled, a per-session feedback controller sizes
+  // the in-flight window between waves, budgets speculative prescans per
+  // growth level, and paces against drop signals — probe_window is ignored.
+  // Decisions are schedule-invariant, so the collected subnets stay
+  // byte-identical to probe_window = 1. The CLI spells this "--window auto".
+  probe::AdaptivePolicy adaptive;
+  // Clock for time-elapsing machinery inside the session: retry backoff and
+  // the adaptive controller's pacing. nullptr = wall clock; campaigns under
+  // --virtual-time inject the scheduler so sleeps elapse on simulated time.
+  util::Clock* clock = nullptr;
   // Skip positioning+exploration for a hop whose address already lies inside
   // a subnet collected earlier in this session.
   bool skip_covered_hops = true;
@@ -107,16 +120,22 @@ class TracenetSession {
   }
 
  private:
-  // Windowed mode (probe_window > 1): warms the probe cache with the first
-  // probes subnet positioning will pay for every named hop of `path` —
-  // <v, d>, <v, d-1> and <mate31(v), d> — as overlapped waves, so the
-  // serial positioning logic resolves them from memory.
+  // Windowed (probe_window > 1) and adaptive modes: warms the probe cache
+  // with the first probes subnet positioning will pay for every named hop of
+  // `path` — <v, d>, <v, d-1> and <mate31(v), d> — as overlapped waves, so
+  // the serial positioning logic resolves them from memory. Under the
+  // adaptive controller the waves are controller-sized and paced.
   void prescan_positioning(const TracePath& path);
 
   probe::ProbeEngine& wire_engine_;
   SessionConfig config_;
   std::unique_ptr<probe::RetryingProbeEngine> retry_;
   std::unique_ptr<probe::CachingProbeEngine> cache_;
+  // Adaptive feedback controller (config_.adaptive.enabled); reset at the
+  // start of every run so no decision state leaks across targets. Its
+  // cached-vs-fresh input is measured against wire_engine_ — the per-worker
+  // scope — which keeps decisions schedule-invariant under --jobs.
+  std::unique_ptr<probe::AdaptiveController> controller_;
   probe::ProbeEngine* top_ = nullptr;  // top of the decorator stack
   trace::Recorder* recorder_ = nullptr;
 };

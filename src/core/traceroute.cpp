@@ -16,6 +16,7 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
   // The consuming loop below is the single source of truth for stop logic
   // in both modes — a wave only prefetches replies it may then discard.
   const int window = config_.probe_window < 1 ? 1 : config_.probe_window;
+  probe::AdaptiveController* ctrl = config_.adaptive;
   std::vector<net::ProbeReply> wave;
   int wave_base = 0;
 
@@ -25,14 +26,15 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
   int anonymous_run = 0;
   for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
     net::ProbeReply reply;
-    if (window <= 1) {
+    if (window <= 1 && ctrl == nullptr) {
       reply = engine_.indirect(destination, static_cast<std::uint8_t>(ttl),
                                config_.protocol, config_.flow_id,
                                config_.epoch);
     } else {
       if (ttl > wave_base + static_cast<int>(wave.size())) {
         wave_base = ttl - 1;
-        const int count = std::min(window, config_.max_ttl - wave_base);
+        const int limit = ctrl != nullptr ? ctrl->window() : window;
+        const int count = std::min(limit, config_.max_ttl - wave_base);
         std::vector<net::Probe> probes(static_cast<std::size_t>(count));
         for (int i = 0; i < count; ++i) {
           probes[static_cast<std::size_t>(i)].target = destination;
@@ -42,7 +44,14 @@ TracePath Traceroute::run(net::Ipv4Addr destination) {
           probes[static_cast<std::size_t>(i)].flow_id = config_.flow_id;
           probes[static_cast<std::size_t>(i)].epoch = config_.epoch;
         }
-        wave = engine_.probe_batch(probes);
+        if (ctrl != nullptr) {
+          ctrl->pace();
+          const std::uint64_t mark = ctrl->begin_wave();
+          wave = engine_.probe_batch(probes);
+          ctrl->end_wave(mark, probes, wave);
+        } else {
+          wave = engine_.probe_batch(probes);
+        }
       }
       reply = wave[static_cast<std::size_t>(ttl - wave_base - 1)];
     }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/types.h"
+#include "probe/adaptive.h"
 #include "probe/engine.h"
 #include "trace/journal.h"
 
@@ -30,6 +31,12 @@ struct TracerouteConfig {
   // probe a few TTLs past the stopping hop (extra wire probes, never extra
   // hops). 1 (the default) is the strictly sequential historical behavior.
   int probe_window = 1;
+  // Adaptive probing controller (probe/adaptive.h), owned by the session;
+  // nullptr = fixed-window behavior. When set, each TTL wave is sized by the
+  // controller's current window and paced by its backoff, overriding
+  // probe_window; the serial stop logic is untouched, so the collected path
+  // is identical either way.
+  probe::AdaptiveController* adaptive = nullptr;
   // Journal destination for session-level hop events; nullptr = tracing off.
   // Hop events record *consumed* replies only, so they are identical across
   // probe_window settings (a wave's discarded prefetches never appear).

@@ -106,6 +106,18 @@ struct SessionResult {
   std::vector<ObservedSubnet> subnets;  // in hop order, deduplicated
   std::uint64_t wire_probes = 0;        // total probes put on the wire
 
+  // Speculation ledger for windowed/adaptive probing (docs/PROBING.md):
+  // probes submitted ahead of demand by exploration prescans, and how many
+  // of them the serial walk later consumed from the cache. spent - saved is
+  // the session's speculative waste. Like wire_probes these vary with the
+  // window policy, so they stay out of to_string()/journals — the pinned
+  // outputs are window-invariant.
+  std::uint64_t speculative_spent = 0;
+  std::uint64_t speculative_saved = 0;
+  // Adaptive-controller decision changes this run (0 without --window auto).
+  std::uint64_t pace_adjustments = 0;
+  std::uint64_t window_resizes = 0;
+
   std::string to_string() const;
 };
 

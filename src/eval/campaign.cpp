@@ -1,6 +1,7 @@
 #include "eval/campaign.h"
 
 #include "probe/sim_engine.h"
+#include "sim/vtime/scheduler.h"
 #include "util/log.h"
 
 namespace tn::eval {
@@ -59,7 +60,13 @@ VantageObservations run_campaign(sim::Network& network, sim::NodeId vantage,
                                  const std::vector<net::Ipv4Addr>& targets,
                                  const CampaignConfig& config) {
   probe::SimProbeEngine wire(network, vantage);
-  core::TracenetSession session(wire, config.session);
+  // Session-side sleeps (retry backoff, adaptive pacing) must elapse on the
+  // virtual clock when the network runs under one, exactly like the RTT
+  // waits — a real sleep would stall the simulated timeline.
+  core::SessionConfig session_config = config.session;
+  if (session_config.clock == nullptr && network.scheduler() != nullptr)
+    session_config.clock = network.scheduler();
+  core::TracenetSession session(wire, session_config);
   CampaignAccumulator acc(vantage_name, targets.size());
 
   const sim::FaultSpec& faults = network.faults();

@@ -9,18 +9,20 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "probe/engine.h"
+#include "util/clock.h"
 
 namespace tn::probe {
 
 struct RetryConfig {
-  // Total tries per probe (first probe + retries); clamped to >= 1.
+  // Total tries per probe (first probe + retries); clamped to [1, 256].
+  // The upper clamp matters: Probe::attempt is a uint8_t fault-draw key, so
+  // more than 256 tries would wrap the ordinal and re-roll fates already
+  // drawn — retry 256 would collide with the first probe.
   int attempts = 2;
 
   // Exponential backoff between tries: sleep backoff_base_us before retry 1,
@@ -37,6 +39,12 @@ struct RetryConfig {
   // heavily rate-limited target from consuming attempts_-1 extra probes on
   // every single TTL of every trace sent its way.
   std::uint64_t per_target_budget = 0;
+
+  // Clock the backoff sleeps elapse on: wall by default, the virtual-time
+  // scheduler under --virtual-time (the same seam ProbePacer uses). A wall
+  // sleep here would stall a simulation whose clock only advances while
+  // every worker is blocked on it.
+  util::Clock* clock = nullptr;
 };
 
 class RetryingProbeEngine final : public ProbeEngine {
@@ -44,6 +52,8 @@ class RetryingProbeEngine final : public ProbeEngine {
   RetryingProbeEngine(ProbeEngine& inner, RetryConfig config) noexcept
       : inner_(inner), config_(config) {
     if (config_.attempts < 1) config_.attempts = 1;
+    if (config_.attempts > 256) config_.attempts = 256;
+    if (config_.clock == nullptr) config_.clock = &util::WallClock::instance();
   }
   RetryingProbeEngine(ProbeEngine& inner, int attempts = 2) noexcept
       : RetryingProbeEngine(inner, RetryConfig{.attempts = attempts}) {}
@@ -84,7 +94,7 @@ class RetryingProbeEngine final : public ProbeEngine {
         us < static_cast<double>(config_.backoff_max_us)
             ? us
             : static_cast<double>(config_.backoff_max_us));
-    std::this_thread::sleep_for(std::chrono::microseconds(capped));
+    config_.clock->sleep_us(capped);
   }
 
   void trace_retry(const net::Probe& probe, const net::ProbeReply& reply) {

@@ -36,6 +36,13 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   Counter& skips_counter = m.counter("runtime.stopset.skips");
   Counter& fallback_counter = m.counter("runtime.fallback_sessions");
   Counter& retries_counter = m.counter("probe.retries");
+  // Speculation ledger + adaptive-controller decisions (docs/PROBING.md):
+  // summed over executed sessions (workers and fallbacks), so like
+  // probe.wire they are schedule-dependent diagnostics, not pinned output.
+  Counter& spec_spent_counter = m.counter("probe.speculative_spent");
+  Counter& spec_saved_counter = m.counter("probe.speculative_saved");
+  Counter& pace_counter = m.counter("pace.adjustments");
+  Counter& resize_counter = m.counter("probe.window_resizes");
   Histogram& latency_hist = m.histogram("session.latency_us");
   Histogram& probes_hist = m.histogram("session.probes");
   WaveInstruments waves;
@@ -54,6 +61,12 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
   // every registered worker is blocked on it).
   sim::vtime::Scheduler* sched = network_.scheduler();
   const std::uint64_t vtime_before = sched != nullptr ? sched->now_us() : 0;
+
+  // Session-side sleeps (retry backoff, adaptive pacing) ride the same
+  // clock: inject the scheduler unless the caller wired a clock explicitly.
+  core::SessionConfig session_template = config_.campaign.session;
+  if (session_template.clock == nullptr && sched != nullptr)
+    session_template.clock = sched;
 
   // The shared probe stack (see the header diagram).
   probe::SimProbeEngine wire(network_, vantage_);
@@ -112,7 +125,7 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
     std::optional<sim::vtime::Scheduler::WorkerGuard> vtime_guard;
     if (sched != nullptr) vtime_guard.emplace(*sched);
     probe::ForwardingProbeEngine local(*base);
-    core::SessionConfig session_config = config_.campaign.session;
+    core::SessionConfig session_config = session_template;
     if (!config_.deterministic && config_.share_stop_set) {
       // Fast mode: Doubletree-style hop skipping against the global set.
       session_config.covered_externally = [&subnet_cache](net::Ipv4Addr addr) {
@@ -159,6 +172,10 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       probes_hist.record(result.wire_probes);
       retries_counter.add(session.retries_used() - retries_seen);
       retries_seen = session.retries_used();
+      spec_spent_counter.add(result.speculative_spent);
+      spec_saved_counter.add(result.speculative_saved);
+      pace_counter.add(result.pace_adjustments);
+      resize_counter.add(result.window_resizes);
 
       for (const core::ObservedSubnet& subnet : result.subnets)
         subnet_cache.insert(subnet, index);
@@ -211,7 +228,7 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       // The stop set skipped a target the serial order would have traced
       // (its covering subnet came from a target the replay discards).
       // Re-trace it now for serial-identical output.
-      if (!fallback) fallback.emplace(merge_engine, config_.campaign.session);
+      if (!fallback) fallback.emplace(merge_engine, session_template);
       if (sink != nullptr)
         fallback->set_recorder(sink->open(index, target.to_string()));
       fallback->set_epoch(network_.faults().epoch_of(index));
@@ -219,6 +236,10 @@ CampaignReport CampaignRuntime::run(const std::string& vantage_name,
       if (sink != nullptr) fallback->set_recorder(nullptr);
       ++report.fallback_sessions;
       fallback_counter.add();
+      spec_spent_counter.add(results[index]->speculative_spent);
+      spec_saved_counter.add(results[index]->speculative_saved);
+      pace_counter.add(results[index]->pace_adjustments);
+      resize_counter.add(results[index]->window_resizes);
     }
     acc.add(*results[index]);
     report.sessions.push_back(std::move(*results[index]));

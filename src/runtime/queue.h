@@ -24,10 +24,16 @@ class TargetQueue {
   explicit TargetQueue(std::vector<net::Ipv4Addr> targets)
       : targets_(std::move(targets)) {}
 
-  // Claims the next target; std::nullopt when drained. Wait-free.
+  // Claims the next target; std::nullopt when drained. Lock-free. The
+  // cursor saturates at size(): an unconditional fetch_add would let a
+  // long-lived drained queue polled in a loop creep the cursor toward
+  // overflow, and a wrapped cursor would hand out indices again.
   std::optional<std::size_t> pop() noexcept {
-    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= targets_.size()) return std::nullopt;
+    std::size_t index = next_.load(std::memory_order_relaxed);
+    do {
+      if (index >= targets_.size()) return std::nullopt;
+    } while (!next_.compare_exchange_weak(index, index + 1,
+                                          std::memory_order_relaxed));
     return index;
   }
 
@@ -36,7 +42,8 @@ class TargetQueue {
   }
   std::size_t size() const noexcept { return targets_.size(); }
 
-  // Indices claimed so far (may overshoot size() once drained).
+  // Indices claimed so far; exact, since pop() saturates at size(). The
+  // clamp is kept as belt-and-braces against future cursor surgery.
   std::size_t claimed() const noexcept {
     const std::size_t n = next_.load(std::memory_order_relaxed);
     return n < targets_.size() ? n : targets_.size();

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "probe/cache.h"
 #include "probe/retry.h"
 #include "probe/sim_engine.h"
+#include "sim/vtime/scheduler.h"
 #include "testutil.h"
+#include "util/clock.h"
 
 namespace tn::probe {
 namespace {
@@ -214,6 +218,79 @@ TEST_F(ProbeEngineTest, RetryBatchReprobesOnlySilentSubset) {
   // Responsive probes paid once; only the silent one burned the retry budget.
   EXPECT_EQ(wire.probes_issued(), 3u + 2u);
   EXPECT_EQ(retrying.retries_used(), 2u);
+}
+
+TEST_F(ProbeEngineTest, RetryAttemptsClampToTheAttemptOrdinalSpace) {
+  // Probe::attempt is a uint8_t fault-draw key: a 257th try would wrap the
+  // ordinal back to 0 and re-roll the first probe's fate instead of drawing
+  // a fresh one. The constructor must clamp, not wrap.
+  SimProbeEngine wire(net, f.vantage);
+  RetryingProbeEngine excessive(wire, RetryConfig{.attempts = 1000});
+  EXPECT_EQ(excessive.config().attempts, 256);
+  RetryingProbeEngine none(wire, RetryConfig{.attempts = 0});
+  EXPECT_EQ(none.config().attempts, 1);
+}
+
+// Always silent: every probe burns the full retry schedule.
+class SilentEngine final : public ProbeEngine {
+ private:
+  net::ProbeReply do_probe(const net::Probe&) override {
+    return net::ProbeReply::none();
+  }
+};
+
+TEST_F(ProbeEngineTest, RetryBackoffElapsesOnTheInjectedClock) {
+  // The backoff sleeps must go through the RetryConfig clock seam — a
+  // hard-wired wall sleep would stall virtual-time runs, whose clock only
+  // advances while every worker is blocked on it.
+  SilentEngine silent;
+  util::ManualClock clock;
+  RetryConfig config;
+  config.attempts = 4;
+  config.backoff_base_us = 1'000;
+  config.backoff_max_us = 3'000;
+  config.clock = &clock;
+  RetryingProbeEngine retrying(silent, config);
+  retrying.direct(ip("192.168.1.9"));
+  // Three retries: 1000, then 2000, then 4000 capped to 3000.
+  EXPECT_EQ(clock.now_us(), 6'000u);
+  EXPECT_EQ(retrying.retries_used(), 3u);
+}
+
+TEST_F(ProbeEngineTest, RetryBackoffWallAndVirtualClocksDecideIdentically) {
+  // Mirror of Pacer.WallAndVirtualClocksDecideIdentically for the retry
+  // layer: drive the same probe sequence over a ManualClock (wall stand-in:
+  // sleeps elapse exactly) and the virtual-time scheduler (serial, so
+  // sleeps advance the simulated clock immediately); the timestamp traces
+  // must match step for step, on the serial and the batch path both.
+  const auto drive = [this](util::Clock& clock) {
+    SilentEngine silent;
+    RetryConfig config;
+    config.attempts = 3;
+    config.backoff_base_us = 500;
+    config.clock = &clock;
+    RetryingProbeEngine retrying(silent, config);
+    std::vector<std::uint64_t> trace;
+    retrying.direct(ip("192.168.1.9"));
+    trace.push_back(clock.now_us());
+    const std::vector<net::Probe> wave = {direct_probe(ip("192.168.1.9")),
+                                          indirect_probe(f.pivot3, 2),
+                                          direct_probe(f.pivot4)};
+    retrying.probe_batch(wave);
+    trace.push_back(clock.now_us());
+    retrying.direct(f.pivot3);
+    trace.push_back(clock.now_us());
+    return trace;
+  };
+
+  util::ManualClock manual;
+  sim::vtime::Scheduler scheduler;
+  const std::vector<std::uint64_t> wall_trace = drive(manual);
+  const std::vector<std::uint64_t> virtual_trace = drive(scheduler);
+  EXPECT_EQ(wall_trace, virtual_trace);
+  // The schedule must have actually slept — agreement at zero proves
+  // nothing. Serial: 500 + 1000; batch: one backoff per retry wave.
+  EXPECT_GE(wall_trace.back(), 3'000u);
 }
 
 TEST_F(ProbeEngineTest, StackedDecorators) {

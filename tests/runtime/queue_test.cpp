@@ -1,0 +1,80 @@
+// TargetQueue: the campaign's shared work cursor. pop() must hand out each
+// index exactly once, in order, and then saturate — a drained queue polled
+// in a loop must neither creep its cursor toward overflow nor let
+// claimed() drift past size().
+#include "runtime/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace tn::runtime {
+namespace {
+
+std::vector<net::Ipv4Addr> targets_of(std::size_t n) {
+  std::vector<net::Ipv4Addr> targets;
+  for (std::size_t i = 0; i < n; ++i)
+    targets.push_back(net::Ipv4Addr(0x0A000000u + static_cast<std::uint32_t>(i)));
+  return targets;
+}
+
+TEST(TargetQueue, HandsOutIndicesInOrder) {
+  TargetQueue queue(targets_of(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.claimed(), 0u);
+  EXPECT_EQ(queue.pop(), std::optional<std::size_t>(0));
+  EXPECT_EQ(queue.pop(), std::optional<std::size_t>(1));
+  EXPECT_EQ(queue.pop(), std::optional<std::size_t>(2));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.claimed(), 3u);
+}
+
+TEST(TargetQueue, DrainedQueuePolledForeverKeepsClaimedExact) {
+  // Before the cursor saturated, every failed pop() still bumped it, so a
+  // long-lived drained queue polled in a loop reported a growing claimed()
+  // (until the clamp) and inched the raw cursor toward wraparound.
+  TargetQueue queue(targets_of(2));
+  while (queue.pop()) {
+  }
+  for (int poll = 0; poll < 100'000; ++poll) EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.claimed(), 2u);
+  // A late pop still refuses: the cursor never wrapped back into range.
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(TargetQueue, EmptyQueueSaturatesImmediately) {
+  TargetQueue queue({});
+  for (int poll = 0; poll < 1'000; ++poll) EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.claimed(), 0u);
+}
+
+TEST(TargetQueue, ConcurrentClaimsAreUniqueAndComplete) {
+  constexpr std::size_t kTargets = 10'000;
+  constexpr int kThreads = 4;
+  TargetQueue queue(targets_of(kTargets));
+
+  std::vector<std::vector<std::size_t>> claimed(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&queue, &mine = claimed[t]] {
+      while (const auto index = queue.pop()) mine.push_back(*index);
+      // Keep hammering the drained queue from every thread: saturation must
+      // hold under contention too.
+      for (int poll = 0; poll < 1'000; ++poll)
+        if (const auto late = queue.pop())
+          mine.push_back(*late + kTargets);  // poisons the check below
+    });
+  for (std::thread& thread : pool) thread.join();
+
+  std::vector<std::size_t> all;
+  for (const auto& mine : claimed) all.insert(all.end(), mine.begin(), mine.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kTargets);
+  for (std::size_t i = 0; i < kTargets; ++i) EXPECT_EQ(all[i], i);
+  EXPECT_EQ(queue.claimed(), kTargets);
+}
+
+}  // namespace
+}  // namespace tn::runtime

@@ -18,9 +18,14 @@
 //                       targets covered by an observed subnet are skipped)
 //   --fast              with --jobs: eager stop-set skipping, hop-level
 //                       included; trades the determinism contract for probes
-//   --window N          in-flight probe window: waves of up to N probes
+//   --window N|auto     in-flight probe window: waves of up to N probes
 //                       overlap their round trips within each session
-//                       (1 = sequential probing; see docs/PROBING.md)
+//                       (1 = sequential probing; see docs/PROBING.md).
+//                       "auto" enables the adaptive policy: a per-session
+//                       feedback controller sizes the window, budgets
+//                       speculative prescans and paces against drop
+//                       signals, with output byte-identical to --window 1
+//                       (docs/PROBING.md "Adaptive policy")
 //   --rtt-us N          emulated round-trip time per wire probe on the
 //                       simulator (NetworkConfig::wall_rtt_us), so campaign
 //                       runs and --metrics reflect RTT-bound profiles
@@ -87,7 +92,7 @@ int usage(const char* error) {
                "                    [--targets FILE] [--vantage NAME] "
                "[--protocol icmp|udp|tcp]\n"
                "                    [--max-ttl N] [--retries N] [--multipath]\n"
-               "                    [--jobs N] [--fast] [--window N] "
+               "                    [--jobs N] [--fast] [--window N|auto] "
                "[--rtt-us N] [--pps N]\n"
                "                    [--virtual-time] [--link-delay-us N] "
                "[--jitter-us N]\n"
@@ -214,9 +219,14 @@ int main(int argc, char** argv) {
   if (!util::parse_u64(args.option_or("pps", "0"), pps))
     return usage("bad --pps");
   std::uint64_t window = 1, rtt_us = 0;
-  if (!util::parse_u64(args.option_or("window", "1"), window) || window == 0 ||
-      window > 1024)
-    return usage("bad --window (want 1..1024)");
+  bool adaptive_window = false;
+  if (const std::string window_text = args.option_or("window", "1");
+      window_text == "auto") {
+    adaptive_window = true;
+  } else if (!util::parse_u64(window_text, window) || window == 0 ||
+             window > 1024) {
+    return usage("bad --window (want 1..1024 or auto)");
+  }
   if (!util::parse_u64(args.option_or("rtt-us", "0"), rtt_us) ||
       rtt_us > 10'000'000)
     return usage("bad --rtt-us");
@@ -372,6 +382,7 @@ int main(int argc, char** argv) {
     config.campaign.session.trace.max_ttl = static_cast<int>(max_ttl);
     config.campaign.session.retry_attempts = static_cast<int>(retries) + 1;
     config.campaign.session.probe_window = static_cast<int>(window);
+    config.campaign.session.adaptive.enabled = adaptive_window;
     config.jobs = static_cast<int>(jobs == 0 ? 1 : jobs);
     config.pps = static_cast<double>(pps);
     config.deterministic = !args.flag("fast");
@@ -419,6 +430,8 @@ int main(int argc, char** argv) {
     config.trace.max_ttl = static_cast<int>(max_ttl);
     config.retry_attempts = static_cast<int>(retries) + 1;
     config.probe_window = static_cast<int>(window);
+    config.adaptive.enabled = adaptive_window;
+    if (scheduler) config.clock = &*scheduler;
     core::TracenetSession session(*active, config);
     std::uint64_t ordinal = 0;
     for (const net::Ipv4Addr target : targets) {
